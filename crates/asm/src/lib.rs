@@ -1,0 +1,72 @@
+//! A human-readable text format for IMPACT-I reproduction programs.
+//!
+//! Program models can be printed to and parsed from a small assembly-like
+//! language, so workloads can be inspected, diffed, stored alongside
+//! experiments, or written by hand:
+//!
+//! ```text
+//! ; a tiny looping program
+//! program entry=main
+//!
+//! fn main entry=bb0 {
+//!   bb0:
+//!     ialu x2
+//!     load
+//!     br bb0 bb1 p=0.9 spread=0.05   ; taken not-taken
+//!   bb1:
+//!     exit
+//! }
+//! ```
+//!
+//! * One instruction mnemonic per line (`ialu`, `fpalu`, `load`, `store`,
+//!   `nop`), with an optional repeat count `xN`.
+//! * Exactly one terminator per block: `jmp L`, `br T F p=P [spread=S]`,
+//!   `switch L*W L*W ...`, `call F -> L`, `ret`, `exit`.
+//! * `;` starts a comment; blank lines are ignored.
+//!
+//! [`print_program`] and [`parse_program`] round-trip: parsing a printed
+//! program reproduces it exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use impact_asm::{parse_program, print_program};
+//!
+//! let src = r#"
+//! program entry=main
+//! fn main {
+//!   b0:
+//!     ialu x3
+//!     exit
+//! }
+//! "#;
+//! let program = parse_program(src)?;
+//! assert_eq!(program.function_count(), 1);
+//! let printed = print_program(&program);
+//! assert_eq!(parse_program(&printed)?, program);
+//! # Ok::<(), impact_asm::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parse;
+mod print;
+
+pub use parse::{parse_program, ParseError, ParseErrorKind};
+pub use print::print_program;
+
+#[cfg(test)]
+mod round_trip_tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_benchmarks_round_trip() {
+        for w in impact_workloads::all() {
+            let text = print_program(&w.program);
+            let parsed = parse_program(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert_eq!(parsed, w.program, "{} did not round-trip", w.name);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Program → text.
+
+use std::fmt::Write as _;
+
+use impact_ir::{BasicBlock, Instr, Program, Terminator};
+
+/// Prints `program` in the textual format; see the crate docs for the
+/// grammar. Output parses back to an identical program.
+#[must_use]
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    let entry_name = program.function(program.entry()).name();
+    let _ = writeln!(out, "program entry={entry_name}");
+
+    for (_, func) in program.functions() {
+        out.push('\n');
+        let _ = writeln!(out, "fn {} entry=bb{} {{", func.name(), func.entry().index());
+        for (bid, block) in func.blocks() {
+            let _ = writeln!(out, "  bb{}:", bid.index());
+            print_body(&mut out, block);
+            print_terminator(&mut out, program, block);
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Prints the straight-line body, run-length encoding repeats.
+fn print_body(out: &mut String, block: &BasicBlock) {
+    let body = block.body();
+    let mut i = 0;
+    while i < body.len() {
+        let instr = body[i];
+        let mut n = 1;
+        while i + n < body.len() && body[i + n] == instr {
+            n += 1;
+        }
+        let mnemonic = match instr {
+            Instr::IntAlu => "ialu",
+            Instr::FpAlu => "fpalu",
+            Instr::Load => "load",
+            Instr::Store => "store",
+            Instr::Nop => "nop",
+        };
+        if n == 1 {
+            let _ = writeln!(out, "    {mnemonic}");
+        } else {
+            let _ = writeln!(out, "    {mnemonic} x{n}");
+        }
+        i += n;
+    }
+}
+
+fn print_terminator(out: &mut String, program: &Program, block: &BasicBlock) {
+    match block.terminator() {
+        Terminator::Jump { target } => {
+            let _ = writeln!(out, "    jmp bb{}", target.index());
+        }
+        Terminator::Branch {
+            taken,
+            not_taken,
+            bias,
+        } => {
+            let _ = write!(
+                out,
+                "    br bb{} bb{} p={}",
+                taken.index(),
+                not_taken.index(),
+                bias.base
+            );
+            if bias.input_spread != 0.0 {
+                let _ = write!(out, " spread={}", bias.input_spread);
+            }
+            out.push('\n');
+        }
+        Terminator::Switch { targets } => {
+            let arms: Vec<String> = targets
+                .iter()
+                .map(|(t, w)| format!("bb{}*{w}", t.index()))
+                .collect();
+            let _ = writeln!(out, "    switch {}", arms.join(" "));
+        }
+        Terminator::Call { callee, ret_to } => {
+            let _ = writeln!(
+                out,
+                "    call {} -> bb{}",
+                program.function(*callee).name(),
+                ret_to.index()
+            );
+        }
+        Terminator::Return => out.push_str("    ret\n"),
+        Terminator::Exit => out.push_str("    exit\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use impact_ir::{BranchBias, ProgramBuilder, Terminator};
+
+    use super::*;
+
+    #[test]
+    fn prints_every_construct() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.reserve("helper");
+        let mut f = pb.function("main");
+        let b0 = f.block(vec![Instr::IntAlu, Instr::IntAlu, Instr::Load]);
+        let b1 = f.block(vec![]);
+        let b2 = f.block(vec![Instr::Nop]);
+        let b3 = f.block(vec![Instr::FpAlu, Instr::Store]);
+        f.terminate(b0, Terminator::branch(b1, b2, BranchBias::varying(0.75, 0.1)));
+        f.terminate(
+            b1,
+            Terminator::Switch {
+                targets: vec![(b2, 3), (b3, 1)],
+            },
+        );
+        f.terminate(b2, Terminator::call(callee, b3));
+        f.terminate(b3, Terminator::Exit);
+        let mid = f.finish();
+        let mut h = pb.function_reserved(callee);
+        let h0 = h.block(vec![Instr::IntAlu]);
+        h.terminate(h0, Terminator::Return);
+        h.finish();
+        pb.set_entry(mid);
+        let p = pb.finish().unwrap();
+
+        let text = print_program(&p);
+        assert!(text.contains("program entry=main"));
+        assert!(text.contains("ialu x2"));
+        assert!(text.contains("br bb1 bb2 p=0.75 spread=0.1"));
+        assert!(text.contains("switch bb2*3 bb3*1"));
+        assert!(text.contains("call helper -> bb3"));
+        assert!(text.contains("ret"));
+        assert!(text.contains("exit"));
+    }
+
+    #[test]
+    fn fixed_bias_omits_spread() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let b0 = f.block(vec![]);
+        let b1 = f.block(vec![]);
+        f.terminate(b0, Terminator::branch(b0, b1, BranchBias::fixed(0.5)));
+        f.terminate(b1, Terminator::Exit);
+        let id = f.finish();
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let text = print_program(&p);
+        assert!(text.contains("br bb0 bb1 p=0.5\n"));
+        assert!(!text.contains("spread"));
+    }
+}

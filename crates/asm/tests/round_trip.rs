@@ -1,0 +1,111 @@
+//! Property tests: the text format round-trips arbitrary programs.
+
+use impact_asm::{parse_program, print_program};
+use impact_ir::{BlockId, BranchBias, FuncId, Instr, Program, ProgramBuilder, Terminator};
+use proptest::prelude::*;
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::IntAlu),
+        Just(Instr::FpAlu),
+        Just(Instr::Load),
+        Just(Instr::Store),
+        Just(Instr::Nop),
+    ]
+}
+
+/// A terminator plan with indices resolved modulo actual counts.
+#[derive(Debug, Clone)]
+enum Plan {
+    Jump(usize),
+    Branch(usize, usize, u16, u16),
+    Switch(Vec<(usize, u32)>),
+    Call(usize, usize),
+    Return,
+    Exit,
+}
+
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    prop_oneof![
+        any::<usize>().prop_map(Plan::Jump),
+        (any::<usize>(), any::<usize>(), 0u16..=1000, 0u16..=500)
+            .prop_map(|(a, b, p, s)| Plan::Branch(a, b, p, s)),
+        prop::collection::vec((any::<usize>(), 0u32..9), 1..4).prop_map(Plan::Switch),
+        (any::<usize>(), any::<usize>()).prop_map(|(f, r)| Plan::Call(f, r)),
+        Just(Plan::Return),
+        Just(Plan::Exit),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(
+        prop::collection::vec((prop::collection::vec(arb_instr(), 0..8), arb_plan()), 1..6),
+        1..4,
+    )
+    .prop_map(|plans| {
+        let mut pb = ProgramBuilder::new();
+        let ids: Vec<FuncId> = (0..plans.len())
+            .map(|i| pb.reserve(format!("f{i}")))
+            .collect();
+        for (fi, blocks) in plans.iter().enumerate() {
+            let mut fb = pb.function_reserved(ids[fi]);
+            let bids: Vec<BlockId> = blocks.iter().map(|(body, _)| fb.block(body.clone())).collect();
+            let n = bids.len();
+            for (bi, (_, plan)) in blocks.iter().enumerate() {
+                let r = |x: usize| bids[x % n];
+                let term = match plan {
+                    Plan::Jump(t) => Terminator::jump(r(*t)),
+                    Plan::Branch(a, b, p, s) => {
+                        // Quantized probabilities survive the decimal
+                        // round trip exactly.
+                        let p = f64::from(*p) / 1000.0;
+                        let s = (f64::from(*s) / 1000.0).min(1.0);
+                        Terminator::branch(r(*a), r(*b), BranchBias::varying(p, s))
+                    }
+                    Plan::Switch(arms) => {
+                        let mut targets: Vec<(BlockId, u32)> =
+                            arms.iter().map(|(t, w)| (r(*t), *w)).collect();
+                        if targets.iter().all(|(_, w)| *w == 0) {
+                            targets[0].1 = 1;
+                        }
+                        Terminator::Switch { targets }
+                    }
+                    Plan::Call(f, ret) => Terminator::call(ids[*f % ids.len()], r(*ret)),
+                    Plan::Return => Terminator::Return,
+                    Plan::Exit => Terminator::Exit,
+                };
+                fb.terminate(bids[bi], term);
+            }
+            fb.finish();
+        }
+        pb.set_entry(ids[0]);
+        pb.finish().expect("generated programs are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print → parse is the identity on programs.
+    #[test]
+    fn print_parse_round_trip(program in arb_program()) {
+        let text = print_program(&program);
+        let parsed = parse_program(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{text}")))?;
+        prop_assert_eq!(parsed, program);
+    }
+
+    /// Printed programs never contain lines the parser would reject, even
+    /// after whitespace-only perturbation.
+    #[test]
+    fn printed_text_is_whitespace_insensitive(program in arb_program()) {
+        let text = print_program(&program);
+        let perturbed: String = text
+            .lines()
+            .map(|l| format!("   {}   \n", l.trim()))
+            .collect();
+        let parsed = parse_program(&perturbed)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(parsed, program);
+    }
+}

@@ -1,0 +1,55 @@
+//! The §5 pitch, quantified: searching the cache design space with the
+//! weighted-graph estimator vs. trace-driven simulation.
+//!
+//! "If the approximation proves to be accurate, we would be able to
+//! search the instruction memory hierarchy design space with billions of
+//! dynamic accesses." — the estimator's cost is proportional to static
+//! code size, the simulator's to trace length; this bench shows the gap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use impact_bench::prepared;
+use impact_cache::CacheConfig;
+use impact_experiments::estimate::estimate_direct_mapped;
+use impact_experiments::sim;
+use std::hint::black_box;
+
+fn bench_estimator(c: &mut Criterion) {
+    let p = prepared("make");
+    let configs: Vec<CacheConfig> = [512u64, 1024, 2048, 4096, 8192]
+        .iter()
+        .map(|&s| CacheConfig::direct_mapped(s, 64))
+        .collect();
+
+    let mut group = c.benchmark_group("design_space_search");
+    group.sample_size(20);
+
+    group.bench_function("estimator_5_sizes", |b| {
+        b.iter(|| {
+            for &config in &configs {
+                black_box(estimate_direct_mapped(
+                    &p.result.program,
+                    &p.result.profile,
+                    &p.result.placement,
+                    config,
+                ));
+            }
+        })
+    });
+
+    group.bench_function("simulator_5_sizes", |b| {
+        b.iter(|| {
+            black_box(sim::simulate(
+                &p.result.program,
+                &p.result.placement,
+                p.eval_seed(),
+                p.budget.eval_limits(&p.workload),
+                &configs,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimator);
+criterion_main!(benches);

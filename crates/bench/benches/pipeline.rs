@@ -1,0 +1,80 @@
+//! Cost of each pipeline stage in isolation: profiling, inline
+//! expansion, trace selection, function layout, global layout, and the
+//! end-to-end pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use impact_bench::bench_budget;
+use impact_experiments::prepare::pipeline_config;
+use impact_layout::function_layout::FunctionLayout;
+use impact_layout::global_layout::GlobalOrder;
+use impact_layout::inline::Inliner;
+use impact_layout::pipeline::Pipeline;
+use impact_layout::placement::Placement;
+use impact_layout::trace_select::TraceSelector;
+use impact_profile::Profiler;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let workload = impact_workloads::by_name("yacc").expect("yacc exists");
+    let budget = bench_budget();
+    let config = pipeline_config(&workload, &budget);
+    let profiler = Profiler::new()
+        .runs(config.profile_runs)
+        .limits(config.limits);
+    let profile = profiler.profile(&workload.program);
+
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(20);
+
+    group.bench_function("profile_8_runs", |b| {
+        b.iter(|| black_box(profiler.profile(black_box(&workload.program))))
+    });
+
+    let inliner = Inliner::new(config.inline.expect("default config inlines"));
+    group.bench_function("inline_to_fixpoint", |b| {
+        b.iter(|| black_box(inliner.run_to_fixpoint(black_box(&workload.program), &profiler)))
+    });
+
+    let selector = TraceSelector::new();
+    group.bench_function("trace_selection", |b| {
+        b.iter(|| black_box(selector.select_program(black_box(&workload.program), &profile)))
+    });
+
+    let traces = selector.select_program(&workload.program, &profile);
+    group.bench_function("function_layout", |b| {
+        b.iter(|| {
+            let layouts: Vec<FunctionLayout> = workload
+                .program
+                .functions()
+                .map(|(fid, func)| {
+                    FunctionLayout::compute(func, fid, &traces[fid.index()], &profile)
+                })
+                .collect();
+            black_box(layouts)
+        })
+    });
+
+    group.bench_function("global_layout", |b| {
+        b.iter(|| black_box(GlobalOrder::compute(black_box(&workload.program), &profile)))
+    });
+
+    let layouts: Vec<FunctionLayout> = workload
+        .program
+        .functions()
+        .map(|(fid, func)| FunctionLayout::compute(func, fid, &traces[fid.index()], &profile))
+        .collect();
+    let global = GlobalOrder::compute(&workload.program, &profile);
+    group.bench_function("address_assignment", |b| {
+        b.iter(|| black_box(Placement::assemble(black_box(&workload.program), &global, &layouts)))
+    });
+
+    group.bench_function("end_to_end", |b| {
+        let pipeline = Pipeline::new(config.clone());
+        b.iter(|| black_box(pipeline.run(black_box(&workload.program))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

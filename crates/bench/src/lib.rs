@@ -1,0 +1,42 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches measure the *cost* of regenerating each paper table and
+//! the throughput of the underlying components; the numeric content of
+//! the tables themselves comes from the `repro` binary
+//! (`cargo run --release -p impact-experiments --bin repro -- all`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use impact_experiments::prepare::{prepare, Budget, Prepared};
+
+/// The budget used throughout the benches: capped walks so a full
+/// Criterion run stays in minutes.
+#[must_use]
+pub fn bench_budget() -> Budget {
+    Budget {
+        profile_instrs: Some(100_000),
+        eval_instrs: Some(200_000),
+    }
+}
+
+/// Prepares one benchmark under the bench budget.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of the paper's ten benchmarks.
+#[must_use]
+pub fn prepared(name: &str) -> Prepared {
+    let w = impact_workloads::by_name(name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    prepare(&w, &bench_budget())
+}
+
+/// Prepares all ten benchmarks under the bench budget.
+#[must_use]
+pub fn prepared_all() -> Vec<Prepared> {
+    impact_workloads::all()
+        .iter()
+        .map(|w| prepare(w, &bench_budget()))
+        .collect()
+}

@@ -1,0 +1,116 @@
+//! Fan-out of one access stream to many cache configurations.
+
+use crate::sim::{AccessSink, Cache};
+use crate::stats::CacheStats;
+use crate::CacheConfig;
+
+/// A bank of caches fed by a single access stream.
+///
+/// Regenerating a multi-million-instruction dynamic trace for every cache
+/// configuration in a sweep is wasteful; a `CacheBank` simulates all
+/// configurations of one sweep in a single pass over the trace.
+///
+/// # Example
+///
+/// ```
+/// use impact_cache::{CacheBank, CacheConfig, AccessSink};
+///
+/// let mut bank = CacheBank::new(
+///     [512, 1024, 2048].map(|s| CacheConfig::direct_mapped(s, 64)),
+/// );
+/// for i in 0..1000u64 {
+///     bank.access((i % 128) * 4);
+/// }
+/// let stats = bank.stats();
+/// assert!(stats[0].miss_ratio() >= stats[2].miss_ratio());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheBank {
+    caches: Vec<Cache>,
+}
+
+impl CacheBank {
+    /// Creates a bank from a collection of configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration is invalid.
+    #[must_use]
+    pub fn new(configs: impl IntoIterator<Item = CacheConfig>) -> Self {
+        Self {
+            caches: configs.into_iter().map(Cache::new).collect(),
+        }
+    }
+
+    /// The simulated caches, in construction order.
+    #[must_use]
+    pub fn caches(&self) -> &[Cache] {
+        &self.caches
+    }
+
+    /// Statistics of every cache, in construction order.
+    #[must_use]
+    pub fn stats(&self) -> Vec<CacheStats> {
+        self.caches.iter().map(Cache::stats).collect()
+    }
+
+    /// Number of caches in the bank.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// `true` if the bank is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.caches.is_empty()
+    }
+}
+
+impl AccessSink for CacheBank {
+    fn access(&mut self, addr: u64) {
+        for cache in &mut self.caches {
+            cache.access(addr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_matches_individual_simulation() {
+        let configs = [
+            CacheConfig::direct_mapped(512, 32),
+            CacheConfig::direct_mapped(2048, 64),
+        ];
+        let mut bank = CacheBank::new(configs);
+        let mut solo: Vec<Cache> = configs.iter().map(|&c| Cache::new(c)).collect();
+
+        let addrs: Vec<u64> = (0..5000u64).map(|i| (i * 7919 % 1024) * 4).collect();
+        for &a in &addrs {
+            bank.access(a);
+            for c in &mut solo {
+                c.access(a);
+            }
+        }
+        for (b, s) in bank.stats().iter().zip(solo.iter().map(Cache::stats)) {
+            assert_eq!(*b, s);
+        }
+    }
+
+    #[test]
+    fn empty_bank_is_fine() {
+        let mut bank = CacheBank::new([]);
+        bank.access(0);
+        assert!(bank.is_empty());
+        assert!(bank.stats().is_empty());
+    }
+
+    #[test]
+    fn len_reports_configs() {
+        let bank = CacheBank::new([CacheConfig::direct_mapped(512, 16)]);
+        assert_eq!(bank.len(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Belady's OPT: offline optimal replacement.
+//!
+//! OPT evicts the block whose next use is farthest in the future — the
+//! provable lower bound on misses for any replacement policy at a given
+//! geometry. It needs the whole trace in advance, so it is an *analysis*
+//! (two passes over a materialized trace), not an [`AccessSink`]. The
+//! ablation story it enables: even an oracle replacement policy cannot
+//! recover what a bad layout loses, because layout determines *which*
+//! blocks exist, not just when they conflict.
+//!
+//! [`AccessSink`]: crate::AccessSink
+
+use std::collections::HashMap;
+
+use crate::config::CacheConfig;
+
+/// Result of an OPT simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptResult {
+    /// Instruction fetches processed.
+    pub accesses: u64,
+    /// Misses under optimal replacement.
+    pub misses: u64,
+}
+
+impl OptResult {
+    /// Miss ratio under OPT.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Simulates optimal (Belady) replacement over `trace` for the geometry
+/// of `config` (whole-block fills; the fill policy field is ignored).
+///
+/// Works per cache set: each set holds `ways` blocks and evicts the
+/// resident block with the farthest next use. Complexity is
+/// `O(n log ways)` after an `O(n)` next-use precomputation.
+///
+/// ```
+/// use impact_cache::{opt::simulate_opt, CacheConfig};
+/// // A 5-block loop in a 4-block cache: LRU would miss everything,
+/// // OPT retains 3 of the 5 blocks each round.
+/// let mut trace = Vec::new();
+/// for _ in 0..10 { for b in 0..5u64 { trace.push(b * 64); } }
+/// let opt = simulate_opt(&trace, CacheConfig::fully_associative(256, 64));
+/// assert!(opt.miss_ratio() < 0.5);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `config` is invalid.
+#[must_use]
+pub fn simulate_opt(trace: &[u64], config: CacheConfig) -> OptResult {
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid cache config: {e}"));
+    let sets = config.sets();
+    let ways = config.ways() as usize;
+
+    // Next-use chain: for each position, when is this block touched next?
+    let blocks: Vec<u64> = trace.iter().map(|a| a / config.block_bytes).collect();
+    let mut next_use = vec![usize::MAX; blocks.len()];
+    let mut last_pos: HashMap<u64, usize> = HashMap::new();
+    for (i, &b) in blocks.iter().enumerate().rev() {
+        next_use[i] = last_pos.insert(b, i).unwrap_or(usize::MAX);
+    }
+
+    // Per-set resident map: block -> its next use position.
+    let mut resident: HashMap<u64, HashMap<u64, usize>> = HashMap::new();
+    let mut misses = 0u64;
+    for (i, &b) in blocks.iter().enumerate() {
+        let set = resident.entry(b % sets).or_default();
+        if let Some(next) = set.get_mut(&b) {
+            *next = next_use[i];
+            continue;
+        }
+        misses += 1;
+        if set.len() >= ways {
+            // Evict the resident block with the farthest next use.
+            let victim = *set
+                .iter()
+                .max_by_key(|(_, &next)| next)
+                .map(|(block, _)| block)
+                .expect("set is non-empty");
+            set.remove(&victim);
+        }
+        set.insert(b, next_use[i]);
+    }
+
+    OptResult {
+        accesses: trace.len() as u64,
+        misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sim::{AccessSink, Cache};
+    use crate::Associativity;
+
+    use super::*;
+
+    fn lru_misses(trace: &[u64], config: CacheConfig) -> u64 {
+        let mut c = Cache::new(config);
+        for &a in trace {
+            c.access(a);
+        }
+        c.stats().misses
+    }
+
+    #[test]
+    fn opt_equals_lru_when_everything_fits() {
+        let config = CacheConfig::fully_associative(1024, 64);
+        let trace: Vec<u64> = (0..1000u64).map(|i| (i % 200) * 4).collect();
+        let opt = simulate_opt(&trace, config);
+        assert_eq!(opt.misses, lru_misses(&trace, config));
+    }
+
+    #[test]
+    fn opt_beats_lru_on_a_looping_overcommit() {
+        // The classic LRU worst case: loop over N+1 blocks in an N-block
+        // cache. LRU misses everything; OPT keeps most of the loop.
+        let config = CacheConfig::fully_associative(256, 64); // 4 blocks
+        let mut trace = Vec::new();
+        for _ in 0..50 {
+            for b in 0..5u64 {
+                trace.push(b * 64);
+            }
+        }
+        let opt = simulate_opt(&trace, config);
+        let lru = lru_misses(&trace, config);
+        assert_eq!(lru, 250, "LRU thrashes completely");
+        assert!(
+            opt.misses < lru / 3,
+            "OPT {} should crush LRU {lru}",
+            opt.misses
+        );
+    }
+
+    #[test]
+    fn opt_never_exceeds_lru() {
+        // Pseudo-random traces across several geometries.
+        let trace: Vec<u64> = (0..5000u64).map(|i| (i * 2654435761 % 512) * 4).collect();
+        for assoc in [Associativity::Direct, Associativity::Ways(2), Associativity::Full] {
+            let config = CacheConfig::direct_mapped(512, 32).with_associativity(assoc);
+            let opt = simulate_opt(&trace, config);
+            let lru = lru_misses(&trace, config);
+            assert!(
+                opt.misses <= lru,
+                "{assoc:?}: OPT {} > LRU {lru}",
+                opt.misses
+            );
+        }
+    }
+
+    #[test]
+    fn direct_mapped_opt_equals_direct_mapped_lru() {
+        // One way per set: there is never a replacement choice, so OPT
+        // and LRU coincide exactly.
+        let trace: Vec<u64> = (0..3000u64).map(|i| (i * 7919 % 300) * 4).collect();
+        let config = CacheConfig::direct_mapped(1024, 64);
+        assert_eq!(simulate_opt(&trace, config).misses, lru_misses(&trace, config));
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let r = simulate_opt(&[], CacheConfig::direct_mapped(512, 64));
+        assert_eq!(r.accesses, 0);
+        assert_eq!(r.miss_ratio(), 0.0);
+    }
+}

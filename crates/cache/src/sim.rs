@@ -1,0 +1,465 @@
+//! The cache simulator core.
+
+use crate::config::{CacheConfig, FillPolicy};
+use crate::stats::{CacheStats, ExecRunTracker};
+use crate::WORD_BYTES;
+
+/// Anything that can consume a stream of instruction fetch addresses.
+///
+/// The dynamic trace generator drives sinks directly, so multi-million
+/// access simulations never materialize the trace.
+pub trait AccessSink {
+    /// Observe one 4-byte instruction fetch at `addr`.
+    fn access(&mut self, addr: u64);
+}
+
+/// One cache way: tag, per-word valid bits, and an LRU stamp.
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    /// Tag of the resident block; `u64::MAX` means empty.
+    tag: u64,
+    /// Bit `i` set ⇒ word `i` of the block is valid.
+    valid: u64,
+    /// Last-touch stamp for LRU replacement.
+    lru: u64,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+/// A simulated instruction cache.
+///
+/// Supports every organization in the paper's evaluation; see
+/// [`CacheConfig`]. Drive it through [`AccessSink::access`] and read
+/// results with [`Cache::stats`].
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    ways: Vec<Way>,
+    ways_per_set: usize,
+    sets: u64,
+    words_per_block: u64,
+    stamp: u64,
+    stats: CacheStats,
+    tracker: ExecRunTracker,
+}
+
+impl Cache {
+    /// Creates a cache for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; validate with
+    /// [`CacheConfig::validate`] first when the config is user-supplied.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid cache config: {e}"));
+        let sets = config.sets();
+        let ways_per_set = config.ways() as usize;
+        Self {
+            config,
+            ways: vec![
+                Way {
+                    tag: EMPTY,
+                    valid: 0,
+                    lru: 0,
+                };
+                (sets as usize) * ways_per_set
+            ],
+            ways_per_set,
+            sets,
+            words_per_block: config.words_per_block(),
+            stamp: 0,
+            stats: CacheStats::default(),
+            tracker: ExecRunTracker::default(),
+        }
+    }
+
+    /// The configuration this cache simulates.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Current statistics (with any open execution run flushed).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = self.stats;
+        let mut tracker = self.tracker;
+        tracker.finish(&mut stats);
+        stats
+    }
+
+    /// Resets counters and contents.
+    pub fn reset(&mut self) {
+        for w in &mut self.ways {
+            *w = Way {
+                tag: EMPTY,
+                valid: 0,
+                lru: 0,
+            };
+        }
+        self.stamp = 0;
+        self.stats = CacheStats::default();
+        self.tracker = ExecRunTracker::default();
+    }
+
+    /// Mask of valid bits covering `count` words starting at `start`.
+    fn word_mask(start: u64, count: u64) -> u64 {
+        debug_assert!(start + count <= 64);
+        if count == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << count) - 1) << start
+        }
+    }
+
+    /// Handles one access; returns `(missed, words_fetched)`.
+    fn lookup(&mut self, addr: u64) -> (bool, u64) {
+        let block_addr = addr / self.config.block_bytes;
+        let set = (block_addr % self.sets) as usize;
+        let tag = block_addr / self.sets;
+        let word_in_block = (addr % self.config.block_bytes) / WORD_BYTES;
+
+        self.stamp += 1;
+        let base = set * self.ways_per_set;
+        let ways = &mut self.ways[base..base + self.ways_per_set];
+
+        // Tag match?
+        if let Some(way) = ways.iter_mut().find(|w| w.tag == tag) {
+            if matches!(self.config.replacement, crate::Replacement::Lru) {
+                way.lru = self.stamp;
+            }
+            if way.valid & (1 << word_in_block) != 0 {
+                return (false, 0);
+            }
+            // Word miss on a resident block (sectored / partial fills).
+            let fetched = Self::fill(
+                way,
+                self.config.fill,
+                word_in_block,
+                self.words_per_block,
+            );
+            return (true, fetched);
+        }
+
+        // Block miss: pick a victim per the replacement policy (an empty
+        // way always wins — its stamp is 0).
+        let victim = match self.config.replacement {
+            // LRU refreshes stamps on hits, FIFO only at insertion; the
+            // victim choice is identical given the stamps.
+            crate::Replacement::Lru | crate::Replacement::Fifo => ways
+                .iter_mut()
+                .min_by_key(|w| if w.tag == EMPTY { 0 } else { w.lru })
+                .expect("caches have at least one way"),
+            crate::Replacement::Random => {
+                if let Some(empty) = ways.iter().position(|w| w.tag == EMPTY) {
+                    &mut ways[empty]
+                } else {
+                    // xorshift on the running stamp: deterministic per
+                    // access sequence, well-spread across ways.
+                    let mut x = self.stamp ^ 0x9e37_79b9_7f4a_7c15;
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let idx = (x % self.ways_per_set as u64) as usize;
+                    &mut ways[idx]
+                }
+            }
+        };
+        victim.tag = tag;
+        victim.valid = 0;
+        victim.lru = self.stamp;
+        let fetched = Self::fill(
+            victim,
+            self.config.fill,
+            word_in_block,
+            self.words_per_block,
+        );
+        (true, fetched)
+    }
+
+    /// Fetches the words the fill policy dictates; returns words fetched.
+    fn fill(way: &mut Way, fill: FillPolicy, word_in_block: u64, words_per_block: u64) -> u64 {
+        match fill {
+            FillPolicy::FullBlock => {
+                way.valid = Self::word_mask(0, words_per_block);
+                words_per_block
+            }
+            FillPolicy::Sectored { sector_bytes } => {
+                let words_per_sector = sector_bytes / WORD_BYTES;
+                let sector_start = (word_in_block / words_per_sector) * words_per_sector;
+                let mask = Self::word_mask(sector_start, words_per_sector);
+                debug_assert_eq!(way.valid & mask, 0, "sector re-fetch of valid words");
+                way.valid |= mask;
+                words_per_sector
+            }
+            FillPolicy::Partial => {
+                // From the missed word to the end of the block or the
+                // first already-valid word.
+                let mut count = 0;
+                for w in word_in_block..words_per_block {
+                    if way.valid & (1 << w) != 0 {
+                        break;
+                    }
+                    way.valid |= 1 << w;
+                    count += 1;
+                }
+                count
+            }
+        }
+    }
+}
+
+impl Cache {
+    /// Fills the block containing `addr` as a *prefetch*: the transfer
+    /// counts toward memory traffic, but no access, miss, or execution
+    /// run is recorded. Returns `(was_absent, words_fetched)`.
+    ///
+    /// Used by prefetchers layered on top of the cache; demand traffic
+    /// should go through [`AccessSink::access`].
+    pub fn prefetch_fill(&mut self, addr: u64) -> (bool, u64) {
+        let (missed, fetched) = self.lookup(addr);
+        self.stats.words_fetched += fetched;
+        (missed, fetched)
+    }
+}
+
+impl AccessSink for Cache {
+    fn access(&mut self, addr: u64) {
+        let (missed, fetched) = self.lookup(addr);
+        self.stats.accesses += 1;
+        if missed {
+            self.stats.misses += 1;
+            self.stats.words_fetched += fetched;
+        }
+        self.tracker.observe(addr, missed, &mut self.stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::Associativity;
+
+    use super::*;
+
+    fn seq(cache: &mut Cache, start: u64, count: u64) {
+        for i in 0..count {
+            cache.access(start + i * WORD_BYTES);
+        }
+    }
+
+    #[test]
+    fn cold_miss_then_hits_within_block() {
+        let mut c = Cache::new(CacheConfig::direct_mapped(1024, 64));
+        seq(&mut c, 0, 16); // exactly one block
+        let s = c.stats();
+        assert_eq!(s.accesses, 16);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.words_fetched, 16);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_thrashes() {
+        // Two blocks 1024 bytes apart collide in a 1 KB direct-mapped cache.
+        let mut c = Cache::new(CacheConfig::direct_mapped(1024, 64));
+        for _ in 0..10 {
+            c.access(0);
+            c.access(1024);
+        }
+        let s = c.stats();
+        assert_eq!(s.misses, 20, "every access must conflict-miss");
+    }
+
+    #[test]
+    fn two_way_associativity_absorbs_the_conflict() {
+        let cfg = CacheConfig::direct_mapped(1024, 64).with_associativity(Associativity::Ways(2));
+        let mut c = Cache::new(cfg);
+        for _ in 0..10 {
+            c.access(0);
+            c.access(1024);
+        }
+        let s = c.stats();
+        assert_eq!(s.misses, 2, "only the two cold misses remain");
+    }
+
+    #[test]
+    fn fully_associative_lru_evicts_oldest() {
+        // 4-block fully associative cache; touch 5 blocks round-robin:
+        // classic LRU worst case, everything misses.
+        let mut c = Cache::new(CacheConfig::fully_associative(256, 64));
+        for round in 0..3 {
+            for b in 0..5u64 {
+                c.access(b * 64);
+            }
+            let _ = round;
+        }
+        assert_eq!(c.stats().misses, 15);
+    }
+
+    #[test]
+    fn fully_associative_fits_working_set() {
+        let mut c = Cache::new(CacheConfig::fully_associative(256, 64));
+        for _ in 0..3 {
+            for b in 0..4u64 {
+                c.access(b * 64);
+            }
+        }
+        assert_eq!(c.stats().misses, 4);
+    }
+
+    #[test]
+    fn lru_prefers_empty_ways() {
+        let mut c = Cache::new(CacheConfig::fully_associative(256, 64));
+        c.access(0);
+        c.access(64);
+        // Two ways still empty: new blocks must not evict block 0.
+        c.access(128);
+        c.access(192);
+        c.access(0);
+        let s = c.stats();
+        assert_eq!(s.misses, 4, "block 0 must still be resident");
+    }
+
+    #[test]
+    fn sectored_fill_fetches_one_sector() {
+        let cfg = CacheConfig::direct_mapped(1024, 64).with_fill(FillPolicy::Sectored {
+            sector_bytes: 8,
+        });
+        let mut c = Cache::new(cfg);
+        c.access(0); // sector 0 (words 0-1)
+        let s = c.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.words_fetched, 2);
+        c.access(4); // same sector: hit
+        assert_eq!(c.stats().misses, 1);
+        c.access(8); // next sector of the same block: sector miss
+        let s = c.stats();
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.words_fetched, 4);
+    }
+
+    #[test]
+    fn partial_fill_loads_to_block_end() {
+        let cfg = CacheConfig::direct_mapped(1024, 64).with_fill(FillPolicy::Partial);
+        let mut c = Cache::new(cfg);
+        c.access(8); // word 2 of a 16-word block: fetch words 2..16
+        let s = c.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.words_fetched, 14);
+        // Words before the miss point are absent: touching word 0 misses.
+        c.access(0);
+        let s = c.stats();
+        assert_eq!(s.misses, 2);
+        // ... and the partial fill stops at the first valid word (word 2).
+        assert_eq!(s.words_fetched, 14 + 2);
+    }
+
+    #[test]
+    fn partial_fill_miss_at_block_start_loads_whole_block() {
+        let cfg = CacheConfig::direct_mapped(1024, 64).with_fill(FillPolicy::Partial);
+        let mut c = Cache::new(cfg);
+        c.access(0);
+        assert_eq!(c.stats().words_fetched, 16);
+    }
+
+    #[test]
+    fn traffic_ratio_for_straight_line_code_is_one_with_full_blocks() {
+        // Fetching fresh code sequentially: every word fetched exactly once.
+        let mut c = Cache::new(CacheConfig::direct_mapped(2048, 64));
+        seq(&mut c, 0, 4096); // 16 KB of straight-line code
+        let s = c.stats();
+        assert!((s.traffic_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(s.misses, 4096 / 16);
+    }
+
+    #[test]
+    fn avg_fetch_matches_block_words_for_full_fill() {
+        let mut c = Cache::new(CacheConfig::direct_mapped(2048, 64));
+        seq(&mut c, 0, 1024);
+        assert!((c.stats().avg_fetch() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = Cache::new(CacheConfig::direct_mapped(1024, 64));
+        seq(&mut c, 0, 100);
+        c.reset();
+        assert_eq!(c.stats(), CacheStats::default());
+        c.access(0);
+        assert_eq!(c.stats().misses, 1, "contents were flushed too");
+    }
+
+    #[test]
+    fn doc_example_loop_behavior() {
+        let mut c = Cache::new(CacheConfig::direct_mapped(2048, 64));
+        for _ in 0..100 {
+            seq(&mut c, 0, 32);
+        }
+        let s = c.stats();
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.accesses, 3200);
+    }
+
+    #[test]
+    fn fifo_ignores_hits_when_choosing_victims() {
+        // 2-way set: insert A, B; re-touch A (refreshing LRU but not
+        // FIFO); insert C. LRU evicts B, FIFO evicts A.
+        let base = CacheConfig::direct_mapped(128, 64)
+            .with_associativity(Associativity::Ways(2));
+        let run = |cfg: CacheConfig| {
+            let mut c = Cache::new(cfg);
+            c.access(0); // A
+            c.access(64); // B
+            c.access(0); // touch A
+            c.access(128); // C evicts per policy
+            c.access(0); // hit under LRU, miss under FIFO
+            c.stats().misses
+        };
+        let lru = run(base);
+        let fifo = run(base.with_replacement(crate::Replacement::Fifo));
+        assert_eq!(lru, 3, "LRU keeps A resident");
+        assert_eq!(fifo, 4, "FIFO evicts A despite the touch");
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic_and_valid() {
+        let cfg = CacheConfig::direct_mapped(512, 64)
+            .with_associativity(Associativity::Ways(4))
+            .with_replacement(crate::Replacement::Random);
+        let addrs: Vec<u64> = (0..2000u64).map(|i| (i * 37 % 64) * 64).collect();
+        let run = |cfg: CacheConfig| {
+            let mut c = Cache::new(cfg);
+            for &a in &addrs {
+                c.access(a);
+            }
+            c.stats()
+        };
+        assert_eq!(run(cfg), run(cfg), "random policy must be reproducible");
+        let s = run(cfg);
+        assert!(s.misses > 8, "a 16-block working set must thrash 8 ways");
+        assert!(s.misses <= s.accesses);
+    }
+
+    #[test]
+    fn replacement_is_moot_for_direct_mapped() {
+        let addrs: Vec<u64> = (0..500u64).map(|i| (i * 13 % 100) * 64).collect();
+        let run = |r: crate::Replacement| {
+            let mut c = Cache::new(CacheConfig::direct_mapped(1024, 64).with_replacement(r));
+            for &a in &addrs {
+                c.access(a);
+            }
+            c.stats()
+        };
+        assert_eq!(run(crate::Replacement::Lru), run(crate::Replacement::Fifo));
+        assert_eq!(run(crate::Replacement::Lru), run(crate::Replacement::Random));
+    }
+
+    #[test]
+    fn word_mask_full_width() {
+        assert_eq!(Cache::word_mask(0, 64), u64::MAX);
+        assert_eq!(Cache::word_mask(0, 16), 0xFFFF);
+        assert_eq!(Cache::word_mask(4, 2), 0b11_0000);
+    }
+}

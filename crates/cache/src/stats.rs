@@ -1,0 +1,186 @@
+//! Simulation statistics and derived ratios.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a cache simulation, plus the derived ratios the
+/// paper reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Instruction fetches observed.
+    pub accesses: u64,
+    /// Fetches that missed (including sector/partial-word misses on a
+    /// resident tag).
+    pub misses: u64,
+    /// 4-byte words fetched from memory.
+    pub words_fetched: u64,
+    /// Number of sequential-execution runs measured for
+    /// [`CacheStats::avg_exec`] (one per miss).
+    pub exec_runs: u64,
+    /// Total instructions across those runs.
+    pub exec_run_instrs: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio: misses / accesses (0 when idle).
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Memory traffic ratio: words fetched from memory per instruction
+    /// access (the paper's "traffic" columns).
+    #[must_use]
+    pub fn traffic_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.words_fetched as f64 / self.accesses as f64
+        }
+    }
+
+    /// Average transfer size per miss in 4-byte entities (Table 8,
+    /// "avg.fetch").
+    #[must_use]
+    pub fn avg_fetch(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.words_fetched as f64 / self.misses as f64
+        }
+    }
+
+    /// Average number of consecutive instructions used from a cache miss
+    /// point to a taken branch or the next miss (Table 8, "avg.exec").
+    #[must_use]
+    pub fn avg_exec(&self) -> f64 {
+        if self.exec_runs == 0 {
+            0.0
+        } else {
+            self.exec_run_instrs as f64 / self.exec_runs as f64
+        }
+    }
+
+    /// Adds another stats record into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.misses += other.misses;
+        self.words_fetched += other.words_fetched;
+        self.exec_runs += other.exec_runs;
+        self.exec_run_instrs += other.exec_run_instrs;
+    }
+}
+
+/// Tracks the "consecutive instructions after a miss" statistic.
+///
+/// A run starts at each miss and ends at the next miss or the first
+/// non-sequential fetch (a taken branch); its length in instructions feeds
+/// [`CacheStats::avg_exec`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ExecRunTracker {
+    prev_addr: Option<u64>,
+    run_len: u64,
+    active: bool,
+}
+
+impl ExecRunTracker {
+    /// Observes one access; `miss` says whether it missed.
+    pub(crate) fn observe(&mut self, addr: u64, miss: bool, stats: &mut CacheStats) {
+        let sequential = self.prev_addr == Some(addr.wrapping_sub(crate::WORD_BYTES));
+        if self.active && (!sequential || miss) {
+            stats.exec_runs += 1;
+            stats.exec_run_instrs += self.run_len;
+            self.active = false;
+        }
+        if miss {
+            self.active = true;
+            self.run_len = 1;
+        } else if self.active {
+            self.run_len += 1;
+        }
+        self.prev_addr = Some(addr);
+    }
+
+    /// Flushes a trailing open run at end of simulation.
+    pub(crate) fn finish(&mut self, stats: &mut CacheStats) {
+        if self.active {
+            stats.exec_runs += 1;
+            stats.exec_run_instrs += self.run_len;
+            self.active = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_on_empty_stats_are_zero() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.traffic_ratio(), 0.0);
+        assert_eq!(s.avg_fetch(), 0.0);
+        assert_eq!(s.avg_exec(), 0.0);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let s = CacheStats {
+            accesses: 1000,
+            misses: 10,
+            words_fetched: 160,
+            exec_runs: 10,
+            exec_run_instrs: 95,
+        };
+        assert!((s.miss_ratio() - 0.01).abs() < 1e-12);
+        assert!((s.traffic_ratio() - 0.16).abs() < 1e-12);
+        assert!((s.avg_fetch() - 16.0).abs() < 1e-12);
+        assert!((s.avg_exec() - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = CacheStats {
+            accesses: 10,
+            misses: 1,
+            words_fetched: 16,
+            exec_runs: 1,
+            exec_run_instrs: 5,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.accesses, 20);
+        assert_eq!(a.misses, 2);
+        assert_eq!(a.words_fetched, 32);
+    }
+
+    #[test]
+    fn exec_run_ends_at_taken_branch() {
+        let mut t = ExecRunTracker::default();
+        let mut s = CacheStats::default();
+        // Miss at 0, then sequential hits 4, 8, then a jump to 100 (hit).
+        t.observe(0, true, &mut s);
+        t.observe(4, false, &mut s);
+        t.observe(8, false, &mut s);
+        t.observe(100, false, &mut s);
+        t.finish(&mut s);
+        assert_eq!(s.exec_runs, 1);
+        assert_eq!(s.exec_run_instrs, 3);
+    }
+
+    #[test]
+    fn exec_run_ends_at_next_miss() {
+        let mut t = ExecRunTracker::default();
+        let mut s = CacheStats::default();
+        t.observe(0, true, &mut s);
+        t.observe(4, false, &mut s);
+        t.observe(8, true, &mut s); // sequential but missed
+        t.observe(12, false, &mut s);
+        t.finish(&mut s);
+        assert_eq!(s.exec_runs, 2);
+        assert_eq!(s.exec_run_instrs, 2 + 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! `repro` — regenerate any table of the ISCA 1989 IMPACT-I paper.
+//!
+//! ```text
+//! repro [table1 .. table9 | ablation | paging | estimate | variability | assoc | minprob | all] [--fast] [--extended] [--json DIR]
+//! ```
+//!
+//! * `--fast` caps walk lengths (quick smoke run; ratios are noisier).
+//! * `--json DIR` additionally writes each table's rows as `tableN.json`.
+
+use std::process::ExitCode;
+
+use impact_experiments::prepare::{prepare_all, prepare_all_extended, Budget, Prepared};
+use impact_experiments::tables;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro [table1..table9 | ablation | paging | estimate | variability | assoc | minprob | all] [--fast] [--extended] [--json DIR]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut selected: Vec<u8> = Vec::new();
+    let mut fast = false;
+    let mut extended = false;
+    let mut json_dir: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--extended" => extended = true,
+            "--json" => match args.next() {
+                Some(dir) => json_dir = Some(dir),
+                None => return usage(),
+            },
+            "all" => selected.extend(1..=15),
+            "ablation" => selected.push(10),
+            "paging" => selected.push(11),
+            "estimate" => selected.push(12),
+            "variability" => selected.push(13),
+            "assoc" => selected.push(14),
+            "minprob" => selected.push(15),
+            t if t.starts_with("table") => match t["table".len()..].parse::<u8>() {
+                Ok(n @ 1..=9) => selected.push(n),
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if selected.is_empty() {
+        selected.extend(1..=9);
+    }
+    selected.sort_unstable();
+    selected.dedup();
+
+    let budget = if fast { Budget::fast() } else { Budget::default() };
+    eprintln!(
+        "preparing {} benchmarks ({} budget)...",
+        if extended { 18 } else { 10 },
+        if fast { "fast" } else { "full" }
+    );
+    let t0 = std::time::Instant::now();
+    let prepared = if extended {
+        prepare_all_extended(&budget)
+    } else {
+        prepare_all(&budget)
+    };
+    eprintln!("prepared in {:.1?}", t0.elapsed());
+
+    if let Some(dir) = &json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    for n in selected {
+        let t = std::time::Instant::now();
+        let (text, json) = run_table(n, &prepared);
+        println!("{text}");
+        let label = match n {
+            10 => "ablation".to_owned(),
+            11 => "paging".to_owned(),
+            12 => "estimate".to_owned(),
+            13 => "variability".to_owned(),
+            14 => "assoc".to_owned(),
+            15 => "minprob".to_owned(),
+            _ => format!("table{n}"),
+        };
+        eprintln!("{label} in {:.1?}\n", t.elapsed());
+        if let Some(dir) = &json_dir {
+            let path = format!("{dir}/{label}.json");
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs table `n`, returning `(rendered text, rows as JSON)`.
+fn run_table(n: u8, prepared: &[Prepared]) -> (String, String) {
+    fn pack<R: serde::Serialize>(text: String, rows: &[R]) -> (String, String) {
+        let json = serde_json::to_string_pretty(rows).expect("rows serialize");
+        (text, json)
+    }
+    match n {
+        1 => {
+            let rows = tables::t1::run(prepared);
+            pack(tables::t1::render(&rows), &rows)
+        }
+        2 => {
+            let rows = tables::t2::run(prepared);
+            pack(tables::t2::render(&rows), &rows)
+        }
+        3 => {
+            let rows = tables::t3::run(prepared);
+            pack(tables::t3::render(&rows), &rows)
+        }
+        4 => {
+            let rows = tables::t4::run(prepared);
+            pack(tables::t4::render(&rows), &rows)
+        }
+        5 => {
+            let rows = tables::t5::run(prepared);
+            pack(tables::t5::render(&rows), &rows)
+        }
+        6 => {
+            let rows = tables::t6::run(prepared);
+            pack(tables::t6::render(&rows), &rows)
+        }
+        7 => {
+            let rows = tables::t7::run(prepared);
+            pack(tables::t7::render(&rows), &rows)
+        }
+        8 => {
+            let rows = tables::t8::run(prepared);
+            pack(tables::t8::render(&rows), &rows)
+        }
+        9 => {
+            let rows = tables::t9::run(prepared);
+            pack(tables::t9::render(&rows), &rows)
+        }
+        10 => {
+            let rows = tables::ablation::run(prepared);
+            pack(tables::ablation::render(&rows), &rows)
+        }
+        11 => {
+            let rows = tables::paging::run(prepared);
+            pack(tables::paging::render(&rows), &rows)
+        }
+        12 => {
+            let rows = tables::estimate_validation::run(prepared);
+            pack(tables::estimate_validation::render(&rows), &rows)
+        }
+        13 => {
+            let rows = tables::variability::run(prepared);
+            pack(tables::variability::render(&rows), &rows)
+        }
+        14 => {
+            let rows = tables::assoc::run(prepared);
+            pack(tables::assoc::render(&rows), &rows)
+        }
+        15 => {
+            let rows = tables::min_prob::run(prepared);
+            pack(tables::min_prob::render(&rows), &rows)
+        }
+        _ => unreachable!("selection is validated in main"),
+    }
+}

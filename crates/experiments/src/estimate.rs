@@ -1,0 +1,322 @@
+//! Analytical miss-ratio estimation from the weighted control graphs —
+//! the paper's §5 third research direction, realized:
+//!
+//! > "With few mapping conflicts, performance measurements based on
+//! > weighted call graphs could closely approximate the trace driven
+//! > simulation. If the approximation proves to be accurate, we would be
+//! > able to search the instruction memory hierarchy design space with
+//! > billions of dynamic accesses."
+//!
+//! The estimator predicts a direct-mapped cache's miss ratio from the
+//! profile and the placement alone — no trace is generated, so its cost
+//! is proportional to static code size, not dynamic instruction count.
+//!
+//! # Model
+//!
+//! Fetches are grouped into *line entries*: events where the fetch
+//! stream enters a cache line non-sequentially (a taken transfer landing
+//! in a different line) or by crossing a line boundary sequentially.
+//! Within one entry, all subsequent fetches to the same line hit
+//! trivially, so only entries can miss.
+//!
+//! Per-line entry weights are computed exactly from the weighted control
+//! graph and the placement. Misses are then estimated per cache set
+//! under an independent-reference approximation over entry events: an
+//! entry to line `i` of a set with entry weights `e_1..e_k` misses with
+//! probability `1 − e_i / Σe` (the chance that the set's frame was last
+//! used by some other line), plus one cold miss per touched line.
+//!
+//! The approximation is exact for sets with a single resident line and
+//! degrades gracefully with conflict intensity; the `repro estimate`
+//! table quantifies the error against trace-driven simulation.
+
+use std::collections::HashMap;
+
+use impact_cache::CacheConfig;
+use impact_ir::{Program, Terminator, BYTES_PER_INSTR};
+use impact_layout::Placement;
+use impact_profile::Profile;
+use serde::{Deserialize, Serialize};
+
+/// Per-cache-line *entry weights*: for every line (index `addr / block`),
+/// the expected number of times the fetch stream enters it per profiled
+/// execution — the event granularity at which misses can occur.
+///
+/// Entries are (i) sequential line-boundary crossings inside straight
+/// code and (ii) taken transfers landing in a different line (call
+/// continuations always count: the callee ran in between). Shared by the
+/// miss estimator and the set-pressure visualization.
+#[must_use]
+pub fn line_entry_weights(
+    program: &Program,
+    profile: &Profile,
+    placement: &Placement,
+    block_bytes: u64,
+) -> HashMap<u64, f64> {
+    let line_of = |addr: u64| addr / block_bytes;
+    let mut entries: HashMap<u64, f64> = HashMap::new();
+
+    for (fid, func) in program.functions() {
+        let fp = profile.function(fid);
+        for (bid, bb) in func.blocks() {
+            let w = fp.block_counts[bid.index()] as f64;
+            if w == 0.0 {
+                continue;
+            }
+            let base = placement.addr(fid, bid);
+            let end = base + bb.size_bytes() - BYTES_PER_INSTR;
+            // Sequential entries: every line boundary crossed inside the
+            // block.
+            for line in line_of(base) + 1..=line_of(end) {
+                *entries.entry(line).or_insert(0.0) += w;
+            }
+        }
+
+        // Transfer entries: a landing in the source's own line cannot
+        // miss, and a sequential fall-through across a boundary is
+        // already counted above — everything else enters a line.
+        for (&(from, to), &w) in &fp.arcs {
+            let from_bb = func.block(from);
+            let from_end = placement.addr(fid, from) + from_bb.size_bytes() - BYTES_PER_INSTR;
+            let to_start = placement.addr(fid, to);
+            let sequential = to_start == from_end + BYTES_PER_INSTR;
+            let through_call = matches!(from_bb.terminator(), Terminator::Call { .. });
+            if line_of(to_start) == line_of(from_end) && !through_call {
+                continue;
+            }
+            if sequential && !through_call {
+                continue;
+            }
+            *entries.entry(line_of(to_start)).or_insert(0.0) += w as f64;
+        }
+    }
+
+    // Call entries into callee entry blocks (inter-function transfers
+    // are not in the intra-function arc sets; one entry per invocation).
+    for (fid, func) in program.functions() {
+        let fp = profile.function(fid);
+        if fp.invocations > 0 {
+            let entry_addr = placement.addr(fid, func.entry());
+            *entries.entry(line_of(entry_addr)).or_insert(0.0) += fp.invocations as f64;
+        }
+    }
+    entries
+}
+
+/// The estimator's output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MissEstimate {
+    /// Estimated cold (first-touch) misses.
+    pub cold_misses: f64,
+    /// Estimated steady-state conflict misses.
+    pub conflict_misses: f64,
+    /// Dynamic fetches the profile represents.
+    pub accesses: f64,
+    /// Predicted miss ratio.
+    pub miss_ratio: f64,
+}
+
+/// Predicts the miss ratio of a direct-mapped cache for `program` placed
+/// by `placement`, using only `profile` (no trace).
+///
+/// # Panics
+///
+/// Panics if `config` is invalid or not direct-mapped with whole-block
+/// fill (the estimator models exactly the organization the paper
+/// advocates).
+#[must_use]
+pub fn estimate_direct_mapped(
+    program: &Program,
+    profile: &Profile,
+    placement: &Placement,
+    config: CacheConfig,
+) -> MissEstimate {
+    config.validate().expect("valid cache config");
+    assert!(
+        matches!(config.associativity, impact_cache::Associativity::Direct),
+        "the estimator models direct-mapped caches"
+    );
+    assert!(
+        matches!(config.fill, impact_cache::FillPolicy::FullBlock),
+        "the estimator models whole-block fills"
+    );
+
+    let sets = config.sets();
+    let entries = line_entry_weights(program, profile, placement, config.block_bytes);
+
+    // Group lines by set and apply the independent-entry model.
+    let mut per_set: HashMap<u64, Vec<f64>> = HashMap::new();
+    for (&line, &e) in &entries {
+        per_set.entry(line % sets).or_default().push(e);
+    }
+    let mut conflict = 0.0;
+    for weights in per_set.values() {
+        let total: f64 = weights.iter().sum();
+        if weights.len() < 2 || total == 0.0 {
+            continue;
+        }
+        for &e in weights {
+            conflict += e * (1.0 - e / total);
+        }
+    }
+    let cold = entries.len() as f64;
+    let accesses = profile.totals.instructions as f64;
+    let misses = cold + conflict;
+    MissEstimate {
+        cold_misses: cold,
+        conflict_misses: conflict,
+        accesses,
+        miss_ratio: if accesses > 0.0 { misses / accesses } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use impact_ir::{BranchBias, Instr, ProgramBuilder};
+    use impact_layout::baseline;
+    use impact_profile::Profiler;
+
+    use super::*;
+
+    /// A single hot loop that fits one cache line.
+    fn tiny_loop() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let body = f.block(vec![Instr::IntAlu; 6]);
+        let exit = f.block(vec![]);
+        f.terminate(
+            body,
+            Terminator::branch(body, exit, BranchBias::fixed(0.999)),
+        );
+        f.terminate(exit, Terminator::Exit);
+        let id = f.finish();
+        pb.set_entry(id);
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn resident_loop_predicts_near_zero_misses() {
+        let p = tiny_loop();
+        let profile = Profiler::new().runs(2).profile(&p);
+        let placement = baseline::natural(&p);
+        let est = estimate_direct_mapped(
+            &p,
+            &profile,
+            &placement,
+            CacheConfig::direct_mapped(2048, 64),
+        );
+        assert!(est.conflict_misses < 1e-9, "{est:?}");
+        assert!(est.miss_ratio < 0.01, "{est:?}");
+        // One line touched (32 bytes of code).
+        assert_eq!(est.cold_misses, 1.0);
+    }
+
+    #[test]
+    fn conflicting_loop_predicts_thrashing() {
+        // Two blocks alternating, placed 2048 bytes apart in a 2 KB
+        // direct-mapped cache: every entry conflicts.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let a = f.block(vec![Instr::IntAlu; 500]); // spans many lines
+        let b = f.block(vec![Instr::IntAlu; 11]);
+        let exit = f.block(vec![]);
+        f.terminate(a, Terminator::jump(b));
+        f.terminate(b, Terminator::branch(a, exit, BranchBias::fixed(0.99)));
+        f.terminate(exit, Terminator::Exit);
+        let id = f.finish();
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+
+        let profile = Profiler::new().runs(2).profile(&p);
+        let placement = baseline::natural(&p);
+        // Block a is 2004 bytes; block b lands at 2004.. which maps onto
+        // a's first lines in a 2 KB cache.
+        let est = estimate_direct_mapped(
+            &p,
+            &profile,
+            &placement,
+            CacheConfig::direct_mapped(2048, 64),
+        );
+        assert!(
+            est.conflict_misses > est.cold_misses,
+            "expected conflicts to dominate: {est:?}"
+        );
+    }
+
+    #[test]
+    fn entry_weights_count_sequential_crossings() {
+        // One 40-instruction block: spans 160 bytes = 2.5 lines of 64B.
+        // Each execution enters lines 1 and 2 sequentially; line 0 is
+        // entered once per run (program entry).
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let big = f.block(vec![Instr::IntAlu; 39]); // 40 instrs with term
+        f.terminate(big, Terminator::Exit);
+        let id = f.finish();
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let profile = Profiler::new().runs(3).profile(&p);
+        let placement = baseline::natural(&p);
+
+        let entries = line_entry_weights(&p, &profile, &placement, 64);
+        assert_eq!(entries[&0], 3.0, "one program entry per run");
+        assert_eq!(entries[&1], 3.0, "crossed once per execution");
+        assert_eq!(entries[&2], 3.0);
+        assert_eq!(entries.len(), 3);
+    }
+
+    #[test]
+    fn entry_weights_skip_same_line_transfers() {
+        // A tight loop entirely inside one line: the back edge lands in
+        // its own line and must not create entries.
+        let p = tiny_loop(); // 7 + 1 instructions = 32 bytes, one line
+        let profile = Profiler::new().runs(2).profile(&p);
+        let placement = baseline::natural(&p);
+        let entries = line_entry_weights(&p, &profile, &placement, 64);
+        // Only the per-run program entry registers.
+        assert_eq!(entries[&0], 2.0);
+        assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn call_continuations_always_count_as_entries() {
+        // main calls a helper and continues: even though the continuation
+        // might land in the same line as the call, the callee ran in
+        // between, so an entry is recorded.
+        let mut pb = ProgramBuilder::new();
+        let h = pb.reserve("h");
+        let mut main = pb.function("main");
+        let m0 = main.block(vec![Instr::IntAlu]);
+        let m1 = main.block(vec![]);
+        main.terminate(m0, Terminator::call(h, m1));
+        main.terminate(m1, Terminator::Exit);
+        let mid = main.finish();
+        let mut hf = pb.function_reserved(h);
+        let h0 = hf.block(vec![Instr::IntAlu; 2]);
+        hf.terminate(h0, Terminator::Return);
+        hf.finish();
+        pb.set_entry(mid);
+        let p = pb.finish().unwrap();
+        let profile = Profiler::new().runs(1).profile(&p);
+        let placement = baseline::natural(&p);
+        let entries = line_entry_weights(&p, &profile, &placement, 64);
+        // Everything fits one line, but three entries exist: program
+        // entry, the call into h, and the continuation back into main.
+        let total: f64 = entries.values().sum();
+        assert_eq!(total, 3.0, "{entries:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "direct-mapped")]
+    fn rejects_fully_associative() {
+        let p = tiny_loop();
+        let profile = Profiler::new().runs(1).profile(&p);
+        let placement = baseline::natural(&p);
+        let _ = estimate_direct_mapped(
+            &p,
+            &profile,
+            &placement,
+            CacheConfig::fully_associative(2048, 64),
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Plain-text table rendering shared by all table runners.
+
+/// Renders a table: a header row plus data rows, columns padded to the
+/// widest cell, separated by two spaces. The first column is
+/// left-aligned, all others right-aligned (matching the paper's layout).
+#[must_use]
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let emit = |out: &mut String, row: &[String]| {
+        for (i, (cell, w)) in row.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if i == 0 {
+                out.push_str(&format!("{cell:<w$}"));
+            } else {
+                out.push_str(&format!("{cell:>w$}"));
+            }
+        }
+        out.push('\n');
+    };
+    emit(&mut out, header);
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    emit(&mut out, &sep);
+    for row in rows {
+        emit(&mut out, row);
+    }
+    out
+}
+
+/// Formats a ratio as a percentage with two decimals, e.g. `2.70%`.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats a byte count as the paper does, e.g. `31.6K` or `812`.
+#[must_use]
+pub fn kbytes(bytes: u64) -> String {
+    if bytes >= 1000 {
+        format!("{:.1}K", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+/// Formats a dynamic count as the paper does, e.g. `11.7M` or `0.43M`.
+#[must_use]
+pub fn mcount(n: u64) -> String {
+    format!("{:.2}M", n as f64 / 1.0e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let header = vec!["name".to_owned(), "miss".to_owned()];
+        let rows = vec![
+            vec!["cccp".to_owned(), "2.70%".to_owned()],
+            vec!["wc".to_owned(), "0.00%".to_owned()],
+        ];
+        let t = render_table(&header, &rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width));
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(pct(0.027), "2.70%");
+        assert_eq!(kbytes(32358), "31.6K");
+        assert_eq!(kbytes(812), "812");
+        assert_eq!(mcount(11_700_000), "11.70M");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn ragged_rows_panic() {
+        let _ = render_table(
+            &["a".to_owned(), "b".to_owned()],
+            &[vec!["x".to_owned()]],
+        );
+    }
+}

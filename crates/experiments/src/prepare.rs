@@ -1,0 +1,165 @@
+//! Shared pipeline preparation: run the placement optimizer once per
+//! benchmark and keep everything the table runners need.
+
+use impact_ir::Program;
+use impact_layout::pipeline::{Pipeline, PipelineConfig, PipelineResult};
+use impact_layout::{baseline, Placement};
+use impact_profile::ExecLimits;
+use impact_workloads::Workload;
+
+/// Execution budgets for preparation and evaluation.
+///
+/// The default budget runs each benchmark at its spec'd dynamic length.
+/// [`Budget::fast`] caps walks for quick smoke runs (CI, debug builds) —
+/// ratios converge long before the full trace lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub struct Budget {
+    /// Cap on dynamic instructions per profiling run (`None` = use the
+    /// workload's own cap).
+    pub profile_instrs: Option<u64>,
+    /// Cap on dynamic instructions for the evaluation trace (`None` = use
+    /// the workload's own cap).
+    pub eval_instrs: Option<u64>,
+}
+
+
+impl Budget {
+    /// A reduced budget for smoke tests and debug builds.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            profile_instrs: Some(150_000),
+            eval_instrs: Some(300_000),
+        }
+    }
+
+    /// Profiling limits for `workload` under this budget.
+    #[must_use]
+    pub fn profile_limits(&self, workload: &Workload) -> ExecLimits {
+        ExecLimits {
+            max_instructions: self
+                .profile_instrs
+                .unwrap_or(workload.spec.max_dynamic_instrs),
+            max_call_depth: 512,
+        }
+    }
+
+    /// Evaluation-trace limits for `workload` under this budget.
+    #[must_use]
+    pub fn eval_limits(&self, workload: &Workload) -> ExecLimits {
+        ExecLimits {
+            max_instructions: self.eval_instrs.unwrap_or(workload.spec.max_dynamic_instrs),
+            max_call_depth: 512,
+        }
+    }
+}
+
+/// One benchmark, fully prepared: optimized placement plus the
+/// conventional-compiler baseline.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The benchmark model.
+    pub workload: Workload,
+    /// Full output of the optimized placement pipeline.
+    pub result: PipelineResult,
+    /// Natural (declaration-order) placement of the *original*,
+    /// un-inlined program — the conventional baseline.
+    pub baseline_program: Program,
+    /// The baseline placement itself.
+    pub baseline: Placement,
+    /// The budget used, so table runners evaluate consistently.
+    pub budget: Budget,
+}
+
+impl Prepared {
+    /// The held-out evaluation seed for this benchmark.
+    #[must_use]
+    pub fn eval_seed(&self) -> u64 {
+        self.workload.eval_seed()
+    }
+}
+
+/// The pipeline configuration used for a workload under a budget.
+#[must_use]
+pub fn pipeline_config(workload: &Workload, budget: &Budget) -> PipelineConfig {
+    PipelineConfig {
+        profile_runs: workload.spec.profile_runs,
+        profile_base_seed: 0,
+        limits: budget.profile_limits(workload),
+        ..PipelineConfig::default()
+    }
+}
+
+/// Prepares one benchmark: runs the optimizer and builds the baseline.
+#[must_use]
+pub fn prepare(workload: &Workload, budget: &Budget) -> Prepared {
+    let config = pipeline_config(workload, budget);
+    let result = Pipeline::new(config).run(&workload.program);
+    let baseline = baseline::natural(&workload.program);
+    Prepared {
+        workload: workload.clone(),
+        result,
+        baseline_program: workload.program.clone(),
+        baseline,
+        budget: *budget,
+    }
+}
+
+/// Prepares a set of workloads in parallel (one thread each — the
+/// pipeline is single-threaded and benchmarks are independent).
+#[must_use]
+pub fn prepare_many(workloads: &[Workload], budget: &Budget) -> Vec<Prepared> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| scope.spawn(move || prepare(w, budget)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("prepare threads do not panic"))
+            .collect()
+    })
+}
+
+/// Prepares all ten benchmarks.
+#[must_use]
+pub fn prepare_all(budget: &Budget) -> Vec<Prepared> {
+    prepare_many(&impact_workloads::all(), budget)
+}
+
+/// Prepares the ten paper benchmarks plus the extended set (the paper's
+/// §5 benchmark expansion).
+#[must_use]
+pub fn prepare_all_extended(budget: &Budget) -> Vec<Prepared> {
+    let mut workloads = impact_workloads::all();
+    workloads.extend(impact_workloads::extended());
+    prepare_many(&workloads, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_wc_produces_consistent_artifacts() {
+        let w = impact_workloads::by_name("wc").unwrap();
+        let p = prepare(&w, &Budget::fast());
+        assert!(p.result.placement.is_valid_for(&p.result.program));
+        assert!(p.baseline.is_valid_for(&p.baseline_program));
+        assert!(p.result.effective_static_bytes() <= p.result.total_static_bytes());
+    }
+
+    #[test]
+    fn fast_budget_caps_walks() {
+        let w = impact_workloads::by_name("grep").unwrap();
+        let b = Budget::fast();
+        assert_eq!(b.profile_limits(&w).max_instructions, 150_000);
+        assert_eq!(b.eval_limits(&w).max_instructions, 300_000);
+        let d = Budget::default();
+        assert_eq!(
+            d.eval_limits(&w).max_instructions,
+            w.spec.max_dynamic_instrs
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Evaluation-trace simulation helpers.
+
+use impact_cache::{AccessSink, CacheBank, CacheConfig, CacheStats};
+use impact_ir::Program;
+use impact_layout::Placement;
+use impact_profile::ExecLimits;
+use impact_trace::TraceGenerator;
+
+/// Streams one evaluation trace of `(program, placement)` under
+/// `eval_seed` into a bank of cache configurations; returns per-config
+/// statistics in input order.
+///
+/// The whole sweep costs a single pass over the trace (the paper applies
+/// "the entire execution traces ... to the cache simulator").
+#[must_use]
+pub fn simulate(
+    program: &Program,
+    placement: &Placement,
+    eval_seed: u64,
+    limits: ExecLimits,
+    configs: &[CacheConfig],
+) -> Vec<CacheStats> {
+    let mut bank = CacheBank::new(configs.iter().copied());
+    let gen = TraceGenerator::new(program, placement).with_limits(limits);
+    gen.run(eval_seed, |addr| bank.access(addr));
+    bank.stats()
+}
+
+/// Like [`simulate`], but also returns the trace length.
+#[must_use]
+pub fn simulate_counted(
+    program: &Program,
+    placement: &Placement,
+    eval_seed: u64,
+    limits: ExecLimits,
+    configs: &[CacheConfig],
+) -> (Vec<CacheStats>, u64) {
+    let mut bank = CacheBank::new(configs.iter().copied());
+    let gen = TraceGenerator::new(program, placement).with_limits(limits);
+    let summary = gen.run(eval_seed, |addr| bank.access(addr));
+    (bank.stats(), summary.instructions)
+}
+
+#[cfg(test)]
+mod tests {
+    use impact_layout::baseline;
+
+    use super::*;
+
+    #[test]
+    fn stats_align_with_configs() {
+        let w = impact_workloads::by_name("wc").unwrap();
+        let placement = baseline::natural(&w.program);
+        let configs = [
+            CacheConfig::direct_mapped(512, 64),
+            CacheConfig::direct_mapped(2048, 64),
+        ];
+        let limits = ExecLimits {
+            max_instructions: 50_000,
+            max_call_depth: 512,
+        };
+        let (stats, len) = simulate_counted(&w.program, &placement, 99, limits, &configs);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].accesses, len);
+        assert_eq!(stats[1].accesses, len);
+        // A bigger cache never misses more under LRU-per-set with equal
+        // geometry... not guaranteed for direct-mapped, but trivially true
+        // here because wc's working set fits both.
+        assert!(stats[1].miss_ratio() <= stats[0].miss_ratio() + 1e-9);
+    }
+}

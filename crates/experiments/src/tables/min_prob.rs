@@ -1,0 +1,128 @@
+//! `MIN_PROB` sweep: is the paper's 0.7 threshold the right one?
+//!
+//! The Appendix hard-codes `MIN_PROB = 0.7` — a trace only grows along an
+//! arc carrying ≥70 % of both endpoint weights. This ablation re-runs the
+//! whole pipeline across a threshold sweep and reports the ten-benchmark
+//! averages: trace quality (Table 4's metrics) and the headline cache
+//! performance. Thresholds too low chain cold paths into hot traces;
+//! too high degenerate into single-block traces.
+
+use impact_cache::CacheConfig;
+use impact_layout::pipeline::{Pipeline, PipelineConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::fmt;
+use crate::prepare::{pipeline_config, Prepared};
+use crate::sim;
+
+/// Thresholds swept (the paper's value is 0.7).
+pub const THRESHOLDS: [f64; 5] = [0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// Ten-benchmark averages at one threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// The `MIN_PROB` value.
+    pub min_prob: f64,
+    /// Mean desirable-transfer fraction.
+    pub desirable: f64,
+    /// Mean trace length (blocks).
+    pub trace_length: f64,
+    /// Mean miss ratio at 2 KB / 64 B, optimized placement.
+    pub miss_2k: f64,
+    /// Mean traffic ratio at 2 KB / 64 B.
+    pub traffic_2k: f64,
+}
+
+/// Re-runs the pipeline per threshold over all benchmarks.
+#[must_use]
+pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+    let cache = [CacheConfig::direct_mapped(2048, 64)];
+    THRESHOLDS
+        .iter()
+        .map(|&min_prob| {
+            let mut desirable = 0.0;
+            let mut trace_length = 0.0;
+            let mut miss = 0.0;
+            let mut traffic = 0.0;
+            for p in prepared {
+                let config = PipelineConfig {
+                    min_prob,
+                    ..pipeline_config(&p.workload, &p.budget)
+                };
+                let result = Pipeline::new(config).run(&p.baseline_program);
+                desirable += result.trace_quality.desirable;
+                trace_length += result.trace_quality.mean_trace_length;
+                let stats = sim::simulate(
+                    &result.program,
+                    &result.placement,
+                    p.eval_seed(),
+                    p.budget.eval_limits(&p.workload),
+                    &cache,
+                )[0];
+                miss += stats.miss_ratio();
+                traffic += stats.traffic_ratio();
+            }
+            let n = prepared.len().max(1) as f64;
+            Row {
+                min_prob,
+                desirable: desirable / n,
+                trace_length: trace_length / n,
+                miss_2k: miss / n,
+                traffic_2k: traffic / n,
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let header = [
+        "MIN_PROB",
+        "desirable",
+        "trace length",
+        "2K miss",
+        "2K traffic",
+    ]
+    .map(str::to_owned)
+    .to_vec();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}{}", r.min_prob, if (r.min_prob - 0.7).abs() < 1e-9 { " (paper)" } else { "" }),
+                fmt::pct(r.desirable),
+                format!("{:.2}", r.trace_length),
+                fmt::pct(r.miss_2k),
+                fmt::pct(r.traffic_2k),
+            ]
+        })
+        .collect();
+    format!(
+        "MIN_PROB sweep. Ten-benchmark averages per trace-selection threshold\n{}",
+        fmt::render_table(&header, &table)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prepare::{prepare, Budget};
+
+    use super::*;
+
+    #[test]
+    fn higher_thresholds_shorten_traces() {
+        let w = impact_workloads::by_name("grep").unwrap();
+        let p = prepare(&w, &Budget::fast());
+        let rows = run(std::slice::from_ref(&p));
+        assert_eq!(rows.len(), 5);
+        // Trace length is non-increasing in the threshold.
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].trace_length <= pair[0].trace_length + 0.2,
+                "{rows:?}"
+            );
+        }
+        assert!(render(&rows).contains("(paper)"));
+    }
+}

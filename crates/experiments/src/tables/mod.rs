@@ -1,0 +1,19 @@
+//! One module per paper table. Every module exposes `run` (compute typed
+//! rows from prepared benchmarks) and `render` (text table in the paper's
+//! shape).
+
+pub mod ablation;
+pub mod assoc;
+pub mod estimate_validation;
+pub mod min_prob;
+pub mod paging;
+pub mod t1;
+pub mod t2;
+pub mod t3;
+pub mod t4;
+pub mod t5;
+pub mod t6;
+pub mod t7;
+pub mod t8;
+pub mod t9;
+pub mod variability;

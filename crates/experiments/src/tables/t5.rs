@@ -1,0 +1,94 @@
+//! Table 5 — static and dynamic code sizes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fmt;
+use crate::prepare::Prepared;
+use crate::sim;
+
+/// One benchmark's size characteristics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Total static bytes of the laid-out (post-inlining) program.
+    pub total_static_bytes: u64,
+    /// Bytes with non-trivial execution count (the effective region).
+    pub effective_static_bytes: u64,
+    /// Dynamic instruction accesses in the evaluation trace.
+    pub dynamic_accesses: u64,
+}
+
+/// Computes one row per prepared benchmark (evaluation trace length is
+/// measured with an empty cache bank — one extra pass).
+#[must_use]
+pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+    prepared
+        .iter()
+        .map(|p| {
+            let (_, len) = sim::simulate_counted(
+                &p.result.program,
+                &p.result.placement,
+                p.eval_seed(),
+                p.budget.eval_limits(&p.workload),
+                &[],
+            );
+            Row {
+                name: p.workload.name.to_owned(),
+                total_static_bytes: p.result.total_static_bytes(),
+                effective_static_bytes: p.result.effective_static_bytes(),
+                dynamic_accesses: len,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let header = [
+        "name",
+        "total static bytes",
+        "effective static bytes",
+        "dynamic accesses",
+    ]
+    .map(str::to_owned)
+    .to_vec();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                fmt::kbytes(r.total_static_bytes),
+                fmt::kbytes(r.effective_static_bytes),
+                fmt::mcount(r.dynamic_accesses),
+            ]
+        })
+        .collect();
+    format!(
+        "Table 5. Static and Dynamic Code Sizes of Benchmarks\n{}",
+        fmt::render_table(&header, &table)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prepare::{prepare, Budget};
+
+    use super::*;
+
+    #[test]
+    fn effective_is_at_most_total() {
+        let w = impact_workloads::by_name("compress").unwrap();
+        let p = prepare(&w, &Budget::fast());
+        let rows = run(std::slice::from_ref(&p));
+        let r = &rows[0];
+        assert!(r.effective_static_bytes <= r.total_static_bytes);
+        assert!(
+            r.effective_static_bytes < r.total_static_bytes,
+            "compress has dead utilities; effective must be strictly smaller"
+        );
+        assert!(r.dynamic_accesses > 0);
+        assert!(render(&rows).contains("compress"));
+    }
+}

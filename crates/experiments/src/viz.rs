@@ -1,0 +1,239 @@
+//! Text visualizations: the placed address space and cache-set pressure.
+//!
+//! Two renderings that make placement decisions inspectable:
+//!
+//! * [`placement_map`] — the program's address space as contiguous spans
+//!   annotated with function, region, and a hotness bar;
+//! * [`set_pressure`] — per-cache-set entry weight and expected conflict
+//!   intensity, from the same model as the miss estimator.
+//!
+//! Both are exposed through the `impact viz`-style reporting in examples
+//! and are plain strings, so they render anywhere.
+
+use std::collections::HashMap;
+
+use impact_cache::CacheConfig;
+use impact_ir::Program;
+use impact_layout::Placement;
+use impact_profile::Profile;
+
+use crate::estimate::line_entry_weights;
+
+/// One contiguous span of the placed address space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// First byte address.
+    pub start: u64,
+    /// One past the last byte.
+    pub end: u64,
+    /// Owning function's name.
+    pub func: String,
+    /// `true` if the span lies inside the effective region.
+    pub effective: bool,
+    /// Dynamic fetches per byte (hotness).
+    pub heat: f64,
+}
+
+/// Computes the address-ordered spans of a placement.
+#[must_use]
+pub fn spans(program: &Program, profile: &Profile, placement: &Placement) -> Vec<Span> {
+    // Collect per-block extents, then merge adjacent blocks of the same
+    // function and region.
+    let mut blocks: Vec<(u64, u64, usize, f64)> = Vec::new();
+    for (fid, func) in program.functions() {
+        let fp = profile.function(fid);
+        for (bid, bb) in func.blocks() {
+            let start = placement.addr(fid, bid);
+            let fetches = fp.block_counts[bid.index()] as f64 * bb.instr_count() as f64;
+            blocks.push((start, start + bb.size_bytes(), fid.index(), fetches));
+        }
+    }
+    blocks.sort_unstable_by_key(|&(s, ..)| s);
+
+    let mut out: Vec<Span> = Vec::new();
+    for (start, end, fidx, fetches) in blocks {
+        let effective = start < placement.effective_bytes();
+        let name = program
+            .function(impact_ir::FuncId::new(fidx))
+            .name()
+            .to_owned();
+        if let Some(last) = out.last_mut() {
+            if last.end == start && last.func == name && last.effective == effective {
+                // Merge; keep heat as a running fetches-per-byte average.
+                let bytes_before = (last.end - last.start) as f64;
+                let total = last.heat * bytes_before + fetches;
+                last.end = end;
+                last.heat = total / (last.end - last.start) as f64;
+                continue;
+            }
+        }
+        out.push(Span {
+            start,
+            end,
+            func: name,
+            effective,
+            heat: fetches / (end - start) as f64,
+        });
+    }
+    out
+}
+
+/// Renders the placement map with a log-scaled hotness bar.
+#[must_use]
+pub fn placement_map(program: &Program, profile: &Profile, placement: &Placement) -> String {
+    let spans = spans(program, profile, placement);
+    let max_heat = spans.iter().map(|s| s.heat).fold(0.0f64, f64::max);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>8} {:>8}  {:<4} {:<20} {}\n",
+        "start", "bytes", "reg", "function", "hotness (log scale)"
+    ));
+    for s in &spans {
+        let bar = heat_bar(s.heat, max_heat, 24);
+        out.push_str(&format!(
+            "{:>8} {:>8}  {:<4} {:<20} {bar}\n",
+            s.start,
+            s.end - s.start,
+            if s.effective { "eff" } else { "dead" },
+            s.func,
+        ));
+    }
+    out
+}
+
+/// A `width`-character log-scaled bar for `value` against `max`.
+fn heat_bar(value: f64, max: f64, width: usize) -> String {
+    if value <= 0.0 || max <= 0.0 {
+        return String::new();
+    }
+    // Map [1, max] logarithmically onto [1, width].
+    let frac = (value.max(1.0)).ln() / (max.max(std::f64::consts::E)).ln();
+    let n = ((frac * width as f64).round() as usize).clamp(1, width);
+    "#".repeat(n)
+}
+
+/// Per-set pressure: total entry weight and the estimator's expected
+/// conflict misses for each set of `config`.
+#[must_use]
+pub fn set_pressure_data(
+    program: &Program,
+    profile: &Profile,
+    placement: &Placement,
+    config: CacheConfig,
+) -> Vec<(u64, f64, f64)> {
+    let entries = line_entry_weights(program, profile, placement, config.block_bytes);
+    let sets = config.sets();
+    let mut per_set: HashMap<u64, Vec<f64>> = HashMap::new();
+    for (&line, &e) in &entries {
+        per_set.entry(line % sets).or_default().push(e);
+    }
+    let mut out: Vec<(u64, f64, f64)> = (0..sets)
+        .map(|set| {
+            let weights = per_set.get(&set).map_or(&[][..], Vec::as_slice);
+            let total: f64 = weights.iter().sum();
+            let conflict = if weights.len() > 1 && total > 0.0 {
+                weights.iter().map(|&e| e * (1.0 - e / total)).sum()
+            } else {
+                0.0
+            };
+            (set, total, conflict)
+        })
+        .collect();
+    out.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Renders the top conflict-heavy sets of `config`.
+#[must_use]
+pub fn set_pressure(
+    program: &Program,
+    profile: &Profile,
+    placement: &Placement,
+    config: CacheConfig,
+    top: usize,
+) -> String {
+    let data = set_pressure_data(program, profile, placement, config);
+    let max_conflict = data.first().map_or(0.0, |&(_, _, c)| c);
+    let mut out = format!(
+        "top {top} of {} sets by expected conflicts ({}B cache, {}B blocks)\n{:>5} {:>14} {:>14}  \n",
+        data.len(),
+        config.size_bytes,
+        config.block_bytes,
+        "set",
+        "entry weight",
+        "conflicts"
+    );
+    for &(set, total, conflict) in data.iter().take(top) {
+        let bar = heat_bar(conflict, max_conflict.max(1.0), 20);
+        out.push_str(&format!("{set:>5} {total:>14.0} {conflict:>14.0}  {bar}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prepare::{prepare, Budget};
+
+    use super::*;
+
+    fn prepared() -> crate::prepare::Prepared {
+        let w = impact_workloads::by_name("yacc").unwrap();
+        prepare(&w, &Budget::fast())
+    }
+
+    #[test]
+    fn spans_tile_the_address_space() {
+        let p = prepared();
+        let spans = spans(&p.result.program, &p.result.profile, &p.result.placement);
+        assert_eq!(spans[0].start, 0);
+        for w in spans.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "spans must tile without gaps");
+        }
+        assert_eq!(
+            spans.last().unwrap().end,
+            p.result.placement.total_bytes()
+        );
+        // Hot spans precede cold spans.
+        let first_cold = spans.iter().position(|s| !s.effective).unwrap();
+        assert!(spans[first_cold..].iter().all(|s| !s.effective));
+    }
+
+    #[test]
+    fn placement_map_mentions_every_function_region() {
+        let p = prepared();
+        let map = placement_map(&p.result.program, &p.result.profile, &p.result.placement);
+        assert!(map.contains("main"));
+        assert!(map.contains("eff"));
+        assert!(map.contains("dead"));
+    }
+
+    #[test]
+    fn set_pressure_sorts_by_conflicts() {
+        let p = prepared();
+        let data = set_pressure_data(
+            &p.result.program,
+            &p.result.profile,
+            &p.result.placement,
+            CacheConfig::direct_mapped(2048, 64),
+        );
+        assert_eq!(data.len(), 32);
+        for w in data.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+        let text = set_pressure(
+            &p.result.program,
+            &p.result.profile,
+            &p.result.placement,
+            CacheConfig::direct_mapped(2048, 64),
+            5,
+        );
+        assert!(text.contains("32 sets"));
+    }
+
+    #[test]
+    fn heat_bar_scales() {
+        assert_eq!(heat_bar(0.0, 10.0, 10), "");
+        assert_eq!(heat_bar(10.0, 10.0, 10).len(), 10);
+        assert!(heat_bar(2.0, 1000.0, 10).len() <= 3);
+    }
+}

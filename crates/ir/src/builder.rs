@@ -1,0 +1,289 @@
+//! Fluent builders for programs and functions.
+
+use crate::{BasicBlock, BlockId, FuncId, Function, Instr, Program, Terminator, ValidateError};
+
+/// Incrementally constructs a [`Program`].
+///
+/// Functions may call each other in any order; use [`ProgramBuilder::reserve`]
+/// to obtain a [`FuncId`] before the callee's body exists (mutual recursion,
+/// call-before-define).
+///
+/// # Example
+///
+/// ```
+/// use impact_ir::{ProgramBuilder, Instr, Terminator};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let mut f = pb.function("main");
+/// let b = f.block(vec![Instr::IntAlu]);
+/// f.set_entry(b);
+/// f.terminate(b, Terminator::Exit);
+/// let main = f.finish();
+/// pb.set_entry(main);
+/// let program = pb.finish()?;
+/// assert_eq!(program.function_count(), 1);
+/// # Ok::<(), impact_ir::ValidateError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    funcs: Vec<Option<Function>>,
+    names: Vec<String>,
+    entry: Option<FuncId>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves a function id for `name` without defining its body yet.
+    ///
+    /// Define the body later with [`ProgramBuilder::function_reserved`].
+    pub fn reserve(&mut self, name: impl Into<String>) -> FuncId {
+        let id = FuncId::new(self.funcs.len());
+        self.funcs.push(None);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Starts defining a new function named `name`, returning its builder.
+    pub fn function(&mut self, name: impl Into<String>) -> FunctionBuilder<'_> {
+        let id = self.reserve(name);
+        self.function_reserved(id)
+    }
+
+    /// Starts defining the body of a previously [reserved] function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not reserved by this builder or is already
+    /// defined.
+    ///
+    /// [reserved]: ProgramBuilder::reserve
+    pub fn function_reserved(&mut self, id: FuncId) -> FunctionBuilder<'_> {
+        assert!(
+            id.index() < self.funcs.len(),
+            "{id} was not reserved by this builder"
+        );
+        assert!(
+            self.funcs[id.index()].is_none(),
+            "{id} ({}) is already defined",
+            self.names[id.index()]
+        );
+        FunctionBuilder {
+            program: self,
+            id,
+            blocks: Vec::new(),
+            entry: None,
+        }
+    }
+
+    /// Sets the program entry function.
+    pub fn set_entry(&mut self, entry: FuncId) {
+        self.entry = Some(entry);
+    }
+
+    /// Finishes the program, validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] if any reserved function was never
+    /// defined, no entry was set, or the program fails
+    /// [`Program::validate`].
+    pub fn finish(self) -> Result<Program, ValidateError> {
+        let entry = self.entry.ok_or(ValidateError::NoEntryFunction)?;
+        let mut funcs = Vec::with_capacity(self.funcs.len());
+        for (i, f) in self.funcs.into_iter().enumerate() {
+            match f {
+                Some(f) => funcs.push(f),
+                None => {
+                    return Err(ValidateError::UndefinedFunction {
+                        func: FuncId::new(i),
+                        name: self.names[i].clone(),
+                    })
+                }
+            }
+        }
+        Program::from_parts(funcs, entry)
+    }
+}
+
+/// Incrementally constructs one [`Function`]; obtained from
+/// [`ProgramBuilder::function`].
+///
+/// Blocks are created first (possibly unterminated) so they can reference
+/// each other, then wired up with [`FunctionBuilder::terminate`]. Any block
+/// left unterminated defaults to [`Terminator::Return`].
+#[derive(Debug)]
+pub struct FunctionBuilder<'p> {
+    program: &'p mut ProgramBuilder,
+    id: FuncId,
+    blocks: Vec<(Vec<Instr>, Option<Terminator>)>,
+    entry: Option<BlockId>,
+}
+
+impl FunctionBuilder<'_> {
+    /// The id this function will have in the finished program.
+    #[must_use]
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// Adds a block with the given straight-line body; terminator to be
+    /// set later (defaults to `Return`).
+    pub fn block(&mut self, body: Vec<Instr>) -> BlockId {
+        let id = BlockId::new(self.blocks.len());
+        self.blocks.push((body, None));
+        id
+    }
+
+    /// Adds a block whose body is `n` copies of [`Instr::IntAlu`].
+    ///
+    /// Workload generators describe blocks by instruction count; this is
+    /// the shorthand for that common case.
+    pub fn block_n(&mut self, n: usize) -> BlockId {
+        self.block(vec![Instr::IntAlu; n])
+    }
+
+    /// Sets the terminator of `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was not created by this builder.
+    pub fn terminate(&mut self, block: BlockId, term: Terminator) {
+        self.blocks[block.index()].1 = Some(term);
+    }
+
+    /// Marks `entry` as the function's entry block.
+    pub fn set_entry(&mut self, entry: BlockId) {
+        self.entry = Some(entry);
+    }
+
+    /// Number of blocks added so far.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Completes the function, registering it with the program builder and
+    /// returning its id.
+    ///
+    /// The entry defaults to the first block if unset. Unterminated blocks
+    /// default to [`Terminator::Return`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has no blocks.
+    pub fn finish(self) -> FuncId {
+        assert!(
+            !self.blocks.is_empty(),
+            "function {} has no blocks",
+            self.program.names[self.id.index()]
+        );
+        let entry = self.entry.unwrap_or_else(|| BlockId::new(0));
+        let blocks = self
+            .blocks
+            .into_iter()
+            .map(|(body, term)| BasicBlock::new(body, term.unwrap_or(Terminator::Return)))
+            .collect();
+        let func = Function {
+            name: self.program.names[self.id.index()].clone(),
+            blocks,
+            entry,
+        };
+        self.program.funcs[self.id.index()] = Some(func);
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_minimal_program() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let b = f.block_n(2);
+        f.terminate(b, Terminator::Exit);
+        let id = f.finish();
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        assert_eq!(p.function_count(), 1);
+        assert_eq!(p.function(id).entry(), BlockId::new(0));
+    }
+
+    #[test]
+    fn reserve_allows_forward_calls() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.reserve("callee");
+
+        let mut main = pb.function("main");
+        let b0 = main.block_n(1);
+        let b1 = main.block_n(0);
+        main.terminate(b0, Terminator::call(callee, b1));
+        main.terminate(b1, Terminator::Exit);
+        let main_id = main.finish();
+
+        let mut c = pb.function_reserved(callee);
+        let cb = c.block_n(3);
+        c.terminate(cb, Terminator::Return);
+        c.finish();
+
+        pb.set_entry(main_id);
+        let p = pb.finish().unwrap();
+        assert_eq!(p.function(callee).name(), "callee");
+    }
+
+    #[test]
+    fn undefined_reserved_function_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        let _ghost = pb.reserve("ghost");
+        let mut f = pb.function("main");
+        let b = f.block_n(0);
+        f.terminate(b, Terminator::Exit);
+        let id = f.finish();
+        pb.set_entry(id);
+        assert!(matches!(
+            pb.finish(),
+            Err(ValidateError::UndefinedFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_entry_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let b = f.block_n(0);
+        f.terminate(b, Terminator::Exit);
+        f.finish();
+        assert!(matches!(pb.finish(), Err(ValidateError::NoEntryFunction)));
+    }
+
+    #[test]
+    fn unterminated_blocks_default_to_return() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let _b = f.block_n(1);
+        let id = f.finish();
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        assert_eq!(
+            p.function(id).block(BlockId::new(0)).terminator(),
+            &Terminator::Return
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already defined")]
+    fn double_definition_panics() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let b = f.block_n(0);
+        f.terminate(b, Terminator::Exit);
+        let id = f.finish();
+        let _again = pb.function_reserved(id);
+    }
+}

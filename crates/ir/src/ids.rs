@@ -1,0 +1,101 @@
+//! Typed indices for functions and basic blocks.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a function within a [`Program`](crate::Program).
+///
+/// A `FuncId` is a dense index: the `i`-th function added to a
+/// [`ProgramBuilder`](crate::ProgramBuilder) receives id `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FuncId(u32);
+
+/// Identifies a basic block within a [`Function`](crate::Function).
+///
+/// Block ids are local to their function: block `0` of one function is
+/// unrelated to block `0` of another. Like [`FuncId`], they are dense
+/// indices in builder insertion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(u32);
+
+impl FuncId {
+    /// Creates a function id from a raw index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Self(u32::try_from(index).expect("function index exceeds u32"))
+    }
+
+    /// Returns the raw index, usable to index per-function tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// Creates a block id from a raw index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Self(u32::try_from(index).expect("block index exceeds u32"))
+    }
+
+    /// Returns the raw index, usable to index per-block tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl From<FuncId> for usize {
+    fn from(id: FuncId) -> usize {
+        id.index()
+    }
+}
+
+impl From<BlockId> for usize {
+    fn from(id: BlockId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_raw_index() {
+        assert_eq!(FuncId::new(7).index(), 7);
+        assert_eq!(BlockId::new(0).index(), 0);
+    }
+
+    #[test]
+    fn displays_with_prefix() {
+        assert_eq!(FuncId::new(3).to_string(), "fn3");
+        assert_eq!(BlockId::new(12).to_string(), "bb12");
+    }
+
+    #[test]
+    fn orders_by_index() {
+        assert!(FuncId::new(1) < FuncId::new(2));
+        assert!(BlockId::new(0) < BlockId::new(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn rejects_oversized_index() {
+        let _ = FuncId::new(usize::try_from(u64::from(u32::MAX) + 1).unwrap());
+    }
+}

@@ -1,0 +1,150 @@
+//! Structural validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{BlockId, FuncId};
+
+/// A structural invariant violation found while validating a
+/// [`Program`](crate::Program).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ValidateError {
+    /// The program contains no functions.
+    EmptyProgram,
+    /// No entry function was designated.
+    NoEntryFunction,
+    /// The designated entry function id is out of range.
+    BadEntryFunction {
+        /// The offending entry id.
+        entry: FuncId,
+    },
+    /// A reserved function was never given a body.
+    UndefinedFunction {
+        /// The reserved id.
+        func: FuncId,
+        /// The name it was reserved under.
+        name: String,
+    },
+    /// A function has an empty name.
+    EmptyFunctionName {
+        /// The offending function.
+        func: FuncId,
+    },
+    /// Two functions share a name.
+    DuplicateFunctionName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A function contains no basic blocks.
+    EmptyFunction {
+        /// The offending function.
+        func: FuncId,
+    },
+    /// A function's entry block id is out of range.
+    BadEntryBlock {
+        /// The function.
+        func: FuncId,
+        /// The offending entry id.
+        entry: BlockId,
+    },
+    /// A terminator references a block outside its function.
+    DanglingBlockTarget {
+        /// The function.
+        func: FuncId,
+        /// The block whose terminator is broken.
+        block: BlockId,
+        /// The out-of-range target.
+        target: BlockId,
+    },
+    /// A call terminator references a function outside the program.
+    DanglingCallee {
+        /// The calling function.
+        func: FuncId,
+        /// The calling block.
+        block: BlockId,
+        /// The out-of-range callee.
+        callee: FuncId,
+    },
+    /// A switch has no arm with positive weight, so execution could never
+    /// leave the block.
+    UnselectableSwitch {
+        /// The function.
+        func: FuncId,
+        /// The offending block.
+        block: BlockId,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::EmptyProgram => write!(f, "program has no functions"),
+            ValidateError::NoEntryFunction => write!(f, "program entry function was never set"),
+            ValidateError::BadEntryFunction { entry } => {
+                write!(f, "entry function {entry} is out of range")
+            }
+            ValidateError::UndefinedFunction { func, name } => {
+                write!(f, "function {func} ({name:?}) was reserved but never defined")
+            }
+            ValidateError::EmptyFunctionName { func } => {
+                write!(f, "function {func} has an empty name")
+            }
+            ValidateError::DuplicateFunctionName { name } => {
+                write!(f, "duplicate function name {name:?}")
+            }
+            ValidateError::EmptyFunction { func } => {
+                write!(f, "function {func} has no basic blocks")
+            }
+            ValidateError::BadEntryBlock { func, entry } => {
+                write!(f, "entry block {entry} of function {func} is out of range")
+            }
+            ValidateError::DanglingBlockTarget {
+                func,
+                block,
+                target,
+            } => write!(
+                f,
+                "terminator of {func}/{block} targets out-of-range block {target}"
+            ),
+            ValidateError::DanglingCallee {
+                func,
+                block,
+                callee,
+            } => write!(
+                f,
+                "call in {func}/{block} targets out-of-range function {callee}"
+            ),
+            ValidateError::UnselectableSwitch { func, block } => {
+                write!(f, "switch in {func}/{block} has no positive-weight arm")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let e = ValidateError::DanglingBlockTarget {
+            func: FuncId::new(1),
+            block: BlockId::new(2),
+            target: BlockId::new(9),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("fn1"));
+        assert!(msg.contains("bb2"));
+        assert!(msg.contains("bb9"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(ValidateError::EmptyProgram);
+    }
+}

@@ -1,0 +1,121 @@
+//! Baseline (unoptimized) placements for comparison.
+//!
+//! The paper compares its optimized direct-mapped numbers against Smith's
+//! fully-associative design targets, which assume conventional compilers
+//! that lay code out in declaration order. These baselines reproduce that
+//! "conventional compiler" behavior on our program models:
+//!
+//! * [`natural`] — functions and blocks in declaration (id) order, each
+//!   function contiguous. This is what a non-optimizing linker produces.
+//! * [`random`] — a seeded random shuffle of function order and of block
+//!   order within each function; a pessimistic layout used to bound how
+//!   much placement can matter.
+
+use impact_ir::{BlockId, FuncId, Program};
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::placement::Placement;
+
+/// Declaration-order placement: function ids ascending, block ids
+/// ascending within each function.
+#[must_use]
+pub fn natural(program: &Program) -> Placement {
+    let func_order: Vec<FuncId> = program.function_ids().collect();
+    let block_orders: Vec<Vec<BlockId>> = program
+        .functions()
+        .map(|(_, f)| f.block_ids().collect())
+        .collect();
+    Placement::contiguous(program, &func_order, &block_orders)
+}
+
+/// Seeded random placement: shuffled function order and shuffled block
+/// order inside every function (each function still contiguous).
+#[must_use]
+pub fn random(program: &Program, seed: u64) -> Placement {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x51ce_5ab1_e000_0001);
+    let mut func_order: Vec<FuncId> = program.function_ids().collect();
+    func_order.shuffle(&mut rng);
+    let block_orders: Vec<Vec<BlockId>> = program
+        .functions()
+        .map(|(_, f)| {
+            let mut order: Vec<BlockId> = f.block_ids().collect();
+            order.shuffle(&mut rng);
+            order
+        })
+        .collect();
+    Placement::contiguous(program, &func_order, &block_orders)
+}
+
+#[cfg(test)]
+mod tests {
+    use impact_ir::{ProgramBuilder, Terminator};
+
+    use super::*;
+
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let helper = pb.reserve("helper");
+        let mut main = pb.function("main");
+        let m0 = main.block_n(2);
+        let m1 = main.block_n(4);
+        let m2 = main.block_n(0);
+        main.terminate(m0, Terminator::call(helper, m1));
+        main.terminate(m1, Terminator::jump(m2));
+        main.terminate(m2, Terminator::Exit);
+        let mid = main.finish();
+        let mut h = pb.function_reserved(helper);
+        let h0 = h.block_n(3);
+        let h1 = h.block_n(1);
+        h.terminate(h0, Terminator::jump(h1));
+        h.terminate(h1, Terminator::Return);
+        h.finish();
+        pb.set_entry(mid);
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn natural_is_declaration_order() {
+        let p = program();
+        let placement = natural(&p);
+        assert!(placement.is_valid_for(&p));
+        // Function 0 (helper — reserved first) starts at address 0, block 0 first.
+        let first = FuncId::new(0);
+        assert_eq!(placement.addr(first, BlockId::new(0)), 0);
+        // Blocks ascend within a function.
+        let f = p.function(first);
+        let mut prev = placement.addr(first, BlockId::new(0));
+        for b in 1..f.block_count() {
+            let a = placement.addr(first, BlockId::new(b));
+            assert!(a > prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn random_is_valid_and_deterministic() {
+        let p = program();
+        let a = random(&p, 42);
+        let b = random(&p, 42);
+        assert!(a.is_valid_for(&p));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_seeds_differ() {
+        let p = program();
+        let layouts: Vec<Placement> = (0..8).map(|s| random(&p, s)).collect();
+        assert!(
+            layouts.iter().any(|l| *l != layouts[0]),
+            "8 seeds all produced the same placement"
+        );
+    }
+
+    #[test]
+    fn baselines_have_no_cold_region() {
+        let p = program();
+        assert_eq!(natural(&p).effective_bytes(), natural(&p).total_bytes());
+        assert_eq!(random(&p, 1).effective_bytes(), random(&p, 1).total_bytes());
+    }
+}

@@ -1,0 +1,255 @@
+//! The five-step IMPACT-I placement pipeline, end to end.
+
+use impact_ir::Program;
+use impact_profile::{ExecLimits, Profile, Profiler};
+
+use crate::function_layout::FunctionLayout;
+use crate::global_layout::GlobalOrder;
+use crate::inline::{InlineConfig, Inliner};
+use crate::placement::Placement;
+use crate::quality::{InlineReport, TraceQuality};
+use crate::trace_select::{TraceAssignment, TraceSelector};
+
+/// Configuration of the whole placement pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Inliner configuration; `None` disables Step 2 (used by the
+    /// ablation benches).
+    pub inline: Option<InlineConfig>,
+    /// Trace selection threshold (the paper's `MIN_PROB`).
+    pub min_prob: f64,
+    /// Profiling runs (the paper's "runs" column; distinct input seeds).
+    pub profile_runs: u32,
+    /// First profiling input seed. The evaluation trace must use a seed
+    /// outside `base_seed .. base_seed + profile_runs`.
+    pub profile_base_seed: u64,
+    /// Per-run execution limits for profiling.
+    pub limits: ExecLimits,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            inline: Some(InlineConfig::default()),
+            min_prob: crate::trace_select::MIN_PROB,
+            profile_runs: 8,
+            profile_base_seed: 0,
+            limits: ExecLimits::default(),
+        }
+    }
+}
+
+/// Everything the pipeline produced.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The (possibly inlined) program that was laid out.
+    pub program: Program,
+    /// Profile of the *original* program (pre-inlining).
+    pub pre_inline_profile: Profile,
+    /// Profile of [`PipelineResult::program`] — the weights the layout
+    /// decisions used.
+    pub profile: Profile,
+    /// Per-function trace assignments (Step 3).
+    pub traces: Vec<TraceAssignment>,
+    /// Per-function block layouts (Step 4).
+    pub layouts: Vec<FunctionLayout>,
+    /// Global function order (Step 5).
+    pub global: GlobalOrder,
+    /// The final memory map.
+    pub placement: Placement,
+    /// Table 3 statistics (zeroed when inlining is disabled).
+    pub inline_report: InlineReport,
+    /// Table 4 statistics.
+    pub trace_quality: TraceQuality,
+}
+
+impl PipelineResult {
+    /// Static bytes with non-trivial execution count (the paper's
+    /// "effective static bytes", Table 5).
+    #[must_use]
+    pub fn effective_static_bytes(&self) -> u64 {
+        self.placement.effective_bytes()
+    }
+
+    /// Total static bytes (Table 5).
+    #[must_use]
+    pub fn total_static_bytes(&self) -> u64 {
+        self.placement.total_bytes()
+    }
+}
+
+/// Orchestrates profiling, inlining, trace selection, function layout and
+/// global layout.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// A pipeline with the given configuration.
+    #[must_use]
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on `program`.
+    #[must_use]
+    pub fn run(&self, program: &Program) -> PipelineResult {
+        let profiler = Profiler::new()
+            .runs(self.config.profile_runs)
+            .base_seed(self.config.profile_base_seed)
+            .limits(self.config.limits);
+
+        // Step 1: execution profiling.
+        let pre_inline_profile = profiler.profile(program);
+
+        // Step 2: function inline expansion (re-profiling between passes).
+        let inlined = match &self.config.inline {
+            Some(cfg) => Inliner::new(*cfg).run_to_fixpoint(program, &profiler).0,
+            None => program.clone(),
+        };
+
+        // Re-profile the transformed program: layout decisions must see
+        // weights for the cloned blocks.
+        let profile = profiler.profile(&inlined);
+
+        let inline_report =
+            InlineReport::measure(program, &pre_inline_profile, &inlined, &profile);
+
+        // Step 3: trace selection.
+        let selector = TraceSelector::new().min_prob(self.config.min_prob);
+        let traces = selector.select_program(&inlined, &profile);
+
+        // Step 4: function layout.
+        let layouts: Vec<FunctionLayout> = inlined
+            .functions()
+            .map(|(fid, func)| FunctionLayout::compute(func, fid, &traces[fid.index()], &profile))
+            .collect();
+
+        // Step 5: global layout and address assignment.
+        let global = GlobalOrder::compute(&inlined, &profile);
+        let placement = Placement::assemble(&inlined, &global, &layouts);
+
+        let trace_quality = TraceQuality::measure(&inlined, &profile, &traces);
+
+        PipelineResult {
+            program: inlined,
+            pre_inline_profile,
+            profile,
+            traces,
+            layouts,
+            global,
+            placement,
+            inline_report,
+            trace_quality,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use impact_ir::{BranchBias, ProgramBuilder, Terminator};
+
+    use super::*;
+
+    /// main loops over a call to `work`; `work` has a hot path and a dead
+    /// error handler.
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let work = pb.reserve("work");
+        let mut main = pb.function("main");
+        let m0 = main.block_n(1);
+        let m1 = main.block_n(1);
+        let m2 = main.block_n(0);
+        main.terminate(m0, Terminator::call(work, m1));
+        main.terminate(m1, Terminator::branch(m0, m2, BranchBias::fixed(0.9)));
+        main.terminate(m2, Terminator::Exit);
+        let mid = main.finish();
+
+        let mut w = pb.function_reserved(work);
+        let w0 = w.block_n(2);
+        let hot = w.block_n(3);
+        let err = w.block_n(8);
+        let out = w.block_n(1);
+        w.terminate(w0, Terminator::branch(err, hot, BranchBias::fixed(0.0)));
+        w.terminate(hot, Terminator::jump(out));
+        w.terminate(err, Terminator::jump(out));
+        w.terminate(out, Terminator::Return);
+        w.finish();
+
+        pb.set_entry(mid);
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_produces_valid_placement() {
+        let p = program();
+        let r = Pipeline::new(PipelineConfig::default()).run(&p);
+        assert!(r.placement.is_valid_for(&r.program));
+        assert!(r.global.is_permutation_of(&r.program));
+        for (fid, func) in r.program.functions() {
+            assert!(r.layouts[fid.index()].is_permutation_of(func));
+            assert!(r.traces[fid.index()].is_partition_of(func));
+        }
+    }
+
+    #[test]
+    fn dead_code_is_outside_effective_region() {
+        let p = program();
+        let cfg = PipelineConfig {
+            inline: None,
+            ..PipelineConfig::default()
+        };
+        let r = Pipeline::new(cfg).run(&p);
+        let work = r.program.function_by_name("work").unwrap();
+        // The error handler (block 2 of work) never runs.
+        let err_addr = r.placement.addr(work, impact_ir::BlockId::new(2));
+        assert!(err_addr >= r.placement.effective_bytes());
+        assert!(r.effective_static_bytes() < r.total_static_bytes());
+    }
+
+    #[test]
+    fn inlining_affects_report() {
+        let p = program();
+        let cfg = PipelineConfig {
+            inline: Some(crate::inline::InlineConfig {
+                min_site_count: 1,
+                min_site_fraction: 0.0,
+                max_growth: 3.0,
+                max_callee_bytes: 4096,
+                max_passes: 3,
+            }),
+            ..PipelineConfig::default()
+        };
+        let r = Pipeline::new(cfg).run(&p);
+        assert!(r.inline_report.call_decrease > 0.9);
+        assert!(r.program.total_bytes() > p.total_bytes());
+    }
+
+    #[test]
+    fn disabled_inlining_leaves_program_unchanged() {
+        let p = program();
+        let cfg = PipelineConfig {
+            inline: None,
+            ..PipelineConfig::default()
+        };
+        let r = Pipeline::new(cfg).run(&p);
+        assert_eq!(r.program, p);
+        assert_eq!(r.inline_report.call_decrease, 0.0);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let p = program();
+        let a = Pipeline::new(PipelineConfig::default()).run(&p);
+        let b = Pipeline::new(PipelineConfig::default()).run(&p);
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.profile, b.profile);
+    }
+}

@@ -1,0 +1,108 @@
+//! Code scaling (§4.2.3).
+//!
+//! "Code scaling simulates the effect of varying the degrees of
+//! instruction encoding. ... The scaling affects the size of all basic
+//! blocks uniformly. The instruction size is still assumed to be 4 bytes,
+//! and therefore, the effect of code scaling is shown as changes in the
+//! number of instructions in basic blocks. For each basic block, the
+//! number of instructions is rounded to the nearest integer value."
+
+use impact_ir::Program;
+
+/// Returns a copy of `program` with every basic block's instruction count
+/// scaled by `factor` and rounded to the nearest integer, with a floor of
+/// one instruction (the terminator slot) so every block stays addressable.
+///
+/// The paper scales to 0.5, 0.7 and 1.1 of the original size (1.0 being
+/// the identity) to emulate denser or sparser instruction encodings.
+///
+/// # Panics
+///
+/// Panics if `factor` is not finite and positive.
+#[must_use]
+pub fn scale_code(program: &Program, factor: f64) -> Program {
+    assert!(
+        factor.is_finite() && factor > 0.0,
+        "scale factor {factor} must be finite and positive"
+    );
+    let mut funcs: Vec<_> = program.functions().map(|(_, f)| f.clone()).collect();
+    for func in &mut funcs {
+        for bid in 0..func.block_count() {
+            let block = func.block_mut(impact_ir::BlockId::new(bid));
+            let instrs = block.instr_count() as f64;
+            let scaled = (instrs * factor).round().max(1.0) as usize;
+            // One slot always belongs to the terminator.
+            block.resize_body(scaled - 1);
+        }
+    }
+    Program::from_parts(funcs, program.entry()).expect("scaling preserves structure")
+}
+
+#[cfg(test)]
+mod tests {
+    use impact_ir::{BranchBias, Instr, ProgramBuilder, Terminator};
+
+    use super::*;
+
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let a = f.block(vec![Instr::IntAlu; 9]); // 10 instrs with terminator
+        let b = f.block(vec![Instr::Load; 3]); // 4 instrs
+        let c = f.block(vec![]); // 1 instr
+        f.terminate(a, Terminator::branch(b, c, BranchBias::fixed(0.5)));
+        f.terminate(b, Terminator::jump(c));
+        f.terminate(c, Terminator::Exit);
+        let id = f.finish();
+        pb.set_entry(id);
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn identity_scaling_preserves_sizes() {
+        let p = program();
+        let s = scale_code(&p, 1.0);
+        assert_eq!(s.total_bytes(), p.total_bytes());
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    fn half_scaling_rounds_to_nearest() {
+        let p = program();
+        let s = scale_code(&p, 0.5);
+        let f = s.function(s.entry());
+        // 10 -> 5, 4 -> 2, 1 -> 0.5 rounded to 1 (floor one instruction).
+        assert_eq!(f.block(impact_ir::BlockId::new(0)).instr_count(), 5);
+        assert_eq!(f.block(impact_ir::BlockId::new(1)).instr_count(), 2);
+        assert_eq!(f.block(impact_ir::BlockId::new(2)).instr_count(), 1);
+    }
+
+    #[test]
+    fn upscaling_grows_blocks() {
+        let p = program();
+        let s = scale_code(&p, 1.1);
+        let f = s.function(s.entry());
+        // 10 -> 11, 4 -> 4.4 -> 4, 1 -> 1.1 -> 1.
+        assert_eq!(f.block(impact_ir::BlockId::new(0)).instr_count(), 11);
+        assert_eq!(f.block(impact_ir::BlockId::new(1)).instr_count(), 4);
+        assert_eq!(f.block(impact_ir::BlockId::new(2)).instr_count(), 1);
+    }
+
+    #[test]
+    fn control_structure_is_untouched() {
+        let p = program();
+        let s = scale_code(&p, 0.7);
+        let f = s.function(s.entry());
+        assert!(matches!(
+            f.block(impact_ir::BlockId::new(0)).terminator(),
+            Terminator::Branch { .. }
+        ));
+        s.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and positive")]
+    fn rejects_zero_factor() {
+        let _ = scale_code(&program(), 0.0);
+    }
+}

@@ -1,0 +1,565 @@
+//! Step 3 — trace selection (Appendix `TraceSelection`).
+//!
+//! Basic blocks that tend to execute in sequence are grouped into
+//! *traces*, the basic units of instruction placement. The algorithm is a
+//! direct transcription of the paper's pseudocode: repeatedly seed a trace
+//! at the heaviest unselected block and grow it forward through
+//! `best_successor` and backward through `best_predecessor`, where an arc
+//! qualifies only if it captures at least [`MIN_PROB`] of both its source
+//! and destination weight.
+
+use impact_ir::{BlockId, FuncId, Function, Program};
+use impact_profile::{FunctionProfile, Profile};
+
+/// The paper's `MIN_PROB` constant: an arc extends a trace only if it
+/// carries at least this fraction of both endpoint weights.
+pub const MIN_PROB: f64 = 0.7;
+
+/// The trace assignment for one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceAssignment {
+    /// `trace_of[b]` — the trace owning block `b`.
+    trace_of: Vec<usize>,
+    /// `traces[t]` — the blocks of trace `t`, in control-flow order
+    /// (backward-grown blocks first, seed, then forward-grown blocks).
+    traces: Vec<Vec<BlockId>>,
+}
+
+impl TraceAssignment {
+    /// The trace id owning `block`.
+    #[must_use]
+    pub fn trace_of(&self, block: BlockId) -> usize {
+        self.trace_of[block.index()]
+    }
+
+    /// All traces, each a block sequence in control-flow order.
+    #[must_use]
+    pub fn traces(&self) -> &[Vec<BlockId>] {
+        &self.traces
+    }
+
+    /// Number of traces.
+    #[must_use]
+    pub fn trace_count(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// The blocks of trace `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn trace(&self, t: usize) -> &[BlockId] {
+        &self.traces[t]
+    }
+
+    /// The first block (header) of trace `t`.
+    #[must_use]
+    pub fn header(&self, t: usize) -> BlockId {
+        self.traces[t][0]
+    }
+
+    /// The last block (tail) of trace `t`.
+    #[must_use]
+    pub fn tail(&self, t: usize) -> BlockId {
+        *self.traces[t].last().expect("traces are non-empty")
+    }
+
+    /// Position of `block` within its trace (0 = header).
+    #[must_use]
+    pub fn position_in_trace(&self, block: BlockId) -> usize {
+        self.traces[self.trace_of(block)]
+            .iter()
+            .position(|&b| b == block)
+            .expect("block belongs to its assigned trace")
+    }
+
+    /// Mean number of basic blocks per trace (the paper's "trace length"
+    /// column in Table 4).
+    #[must_use]
+    pub fn mean_trace_length(&self) -> f64 {
+        if self.traces.is_empty() {
+            return 0.0;
+        }
+        let blocks: usize = self.traces.iter().map(Vec::len).sum();
+        blocks as f64 / self.traces.len() as f64
+    }
+
+    /// Checks that the traces partition the function's blocks.
+    #[must_use]
+    pub fn is_partition_of(&self, func: &Function) -> bool {
+        if self.trace_of.len() != func.block_count() {
+            return false;
+        }
+        let mut seen = vec![false; func.block_count()];
+        for trace in &self.traces {
+            for &b in trace {
+                if b.index() >= seen.len() || seen[b.index()] {
+                    return false;
+                }
+                seen[b.index()] = true;
+            }
+        }
+        seen.iter().all(|&s| s)
+            && self
+                .traces
+                .iter()
+                .enumerate()
+                .all(|(t, blocks)| blocks.iter().all(|&b| self.trace_of[b.index()] == t))
+    }
+}
+
+/// Configurable trace selector (the paper fixes `min_prob = 0.7`; the
+/// ablation benches sweep it).
+///
+/// ```
+/// use impact_layout::TraceSelector;
+/// use impact_profile::Profiler;
+/// let w = impact_workloads::by_name("wc").unwrap();
+/// let profile = Profiler::new().runs(2).profile(&w.program);
+/// let traces = TraceSelector::new().select_program(&w.program, &profile);
+/// for (fid, func) in w.program.functions() {
+///     assert!(traces[fid.index()].is_partition_of(func));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSelector {
+    min_prob: f64,
+}
+
+impl Default for TraceSelector {
+    fn default() -> Self {
+        Self { min_prob: MIN_PROB }
+    }
+}
+
+impl TraceSelector {
+    /// A selector with the paper's `MIN_PROB = 0.7`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the minimum transition probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1]`.
+    #[must_use]
+    pub fn min_prob(mut self, p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "min_prob {p} out of (0, 1]");
+        self.min_prob = p;
+        self
+    }
+
+    /// Selects traces for every function of `program` under `profile`.
+    ///
+    /// Returns one [`TraceAssignment`] per function, indexed by function
+    /// id.
+    #[must_use]
+    pub fn select_program(&self, program: &Program, profile: &Profile) -> Vec<TraceAssignment> {
+        program
+            .functions()
+            .map(|(fid, func)| self.select(func, fid, profile))
+            .collect()
+    }
+
+    /// Selects traces for one function.
+    #[must_use]
+    pub fn select(&self, func: &Function, fid: FuncId, profile: &Profile) -> TraceAssignment {
+        let fp = profile.function(fid);
+        let n = func.block_count();
+
+        // "for non-executed functions, each basic block forms a trace"
+        if fp.invocations == 0 {
+            return TraceAssignment {
+                trace_of: (0..n).collect(),
+                traces: (0..n).map(|i| vec![BlockId::new(i)]).collect(),
+            };
+        }
+
+        // Sort blocks by weight, heaviest first; ties by id so the result
+        // is deterministic.
+        let mut order: Vec<BlockId> = func.block_ids().collect();
+        order.sort_by(|&a, &b| {
+            fp.block_counts[b.index()]
+                .cmp(&fp.block_counts[a.index()])
+                .then(a.cmp(&b))
+        });
+
+        let mut selected = vec![false; n];
+        let mut trace_of = vec![usize::MAX; n];
+        let mut traces: Vec<Vec<BlockId>> = Vec::new();
+        let entry = func.entry();
+
+        for &seed in &order {
+            if selected[seed.index()] {
+                continue;
+            }
+            let tid = traces.len();
+            let mut blocks = std::collections::VecDeque::new();
+            blocks.push_back(seed);
+            selected[seed.index()] = true;
+
+            // Grow the trace forward.
+            let mut current = seed;
+            loop {
+                match self.best_successor(fp, current, &selected) {
+                    Some(next) if next != entry => {
+                        selected[next.index()] = true;
+                        blocks.push_back(next);
+                        current = next;
+                    }
+                    _ => break,
+                }
+            }
+
+            // Grow the trace backward.
+            let mut current = seed;
+            loop {
+                if current == entry {
+                    break;
+                }
+                match self.best_predecessor(fp, current, &selected) {
+                    Some(prev) => {
+                        selected[prev.index()] = true;
+                        blocks.push_front(prev);
+                        current = prev;
+                    }
+                    None => break,
+                }
+            }
+
+            for &b in &blocks {
+                trace_of[b.index()] = tid;
+            }
+            traces.push(blocks.into_iter().collect());
+        }
+
+        TraceAssignment { trace_of, traces }
+    }
+
+    /// The paper's `best_successor(bb)`: the heaviest outgoing arc,
+    /// accepted only if it meets the probability thresholds on both ends
+    /// and its destination is still unselected.
+    fn best_successor(
+        &self,
+        fp: &FunctionProfile,
+        bb: BlockId,
+        selected: &[bool],
+    ) -> Option<BlockId> {
+        let succ = fp.successors_by_weight(bb);
+        let &(dest, w) = succ.first()?;
+        if w == 0 {
+            return None;
+        }
+        let w_bb = fp.block_counts[bb.index()];
+        let w_dest = fp.block_counts[dest.index()];
+        if (w as f64) < self.min_prob * w_bb as f64 {
+            return None;
+        }
+        if (w as f64) < self.min_prob * w_dest as f64 {
+            return None;
+        }
+        if selected[dest.index()] {
+            return None;
+        }
+        Some(dest)
+    }
+
+    /// The paper's `best_predecessor(bb)`, symmetric to
+    /// [`Self::best_successor`].
+    fn best_predecessor(
+        &self,
+        fp: &FunctionProfile,
+        bb: BlockId,
+        selected: &[bool],
+    ) -> Option<BlockId> {
+        let preds = fp.predecessors_by_weight(bb);
+        let &(src, w) = preds.first()?;
+        if w == 0 {
+            return None;
+        }
+        let w_bb = fp.block_counts[bb.index()];
+        let w_src = fp.block_counts[src.index()];
+        if (w as f64) < self.min_prob * w_bb as f64 {
+            return None;
+        }
+        if (w as f64) < self.min_prob * w_src as f64 {
+            return None;
+        }
+        if selected[src.index()] {
+            return None;
+        }
+        Some(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use impact_ir::{BranchBias, ProgramBuilder, Terminator};
+    use impact_profile::Profiler;
+
+    use super::*;
+
+    /// A diamond with a heavily biased left arm:
+    /// entry -> (left 95% | right 5%) -> join -> back to entry 90% | exit.
+    fn diamond() -> (Program, Profile) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let entry = f.block_n(2);
+        let left = f.block_n(3);
+        let right = f.block_n(3);
+        let join = f.block_n(1);
+        let exit = f.block_n(0);
+        f.terminate(entry, Terminator::branch(left, right, BranchBias::fixed(0.95)));
+        f.terminate(left, Terminator::jump(join));
+        f.terminate(right, Terminator::jump(join));
+        f.terminate(join, Terminator::branch(entry, exit, BranchBias::fixed(0.9)));
+        f.terminate(exit, Terminator::Exit);
+        let id = f.finish();
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let prof = Profiler::new().runs(8).profile(&p);
+        (p, prof)
+    }
+
+    #[test]
+    fn hot_path_forms_one_trace() {
+        let (p, prof) = diamond();
+        let fid = p.entry();
+        let ta = TraceSelector::new().select(p.function(fid), fid, &prof);
+        assert!(ta.is_partition_of(p.function(fid)));
+        // entry, left, join should share a trace; right and exit do not.
+        let t_entry = ta.trace_of(BlockId::new(0));
+        assert_eq!(ta.trace_of(BlockId::new(1)), t_entry, "left joins entry's trace");
+        assert_eq!(ta.trace_of(BlockId::new(3)), t_entry, "join joins entry's trace");
+        assert_ne!(ta.trace_of(BlockId::new(2)), t_entry, "cold right arm excluded");
+        assert_ne!(ta.trace_of(BlockId::new(4)), t_entry, "cold exit excluded");
+    }
+
+    #[test]
+    fn trace_order_follows_control_flow() {
+        let (p, prof) = diamond();
+        let fid = p.entry();
+        let ta = TraceSelector::new().select(p.function(fid), fid, &prof);
+        let t = ta.trace_of(BlockId::new(0));
+        assert_eq!(
+            ta.trace(t),
+            &[BlockId::new(0), BlockId::new(1), BlockId::new(3)],
+            "trace must read entry, left, join in flow order"
+        );
+        assert_eq!(ta.header(t), BlockId::new(0));
+        assert_eq!(ta.tail(t), BlockId::new(3));
+    }
+
+    #[test]
+    fn growth_never_crosses_the_entry_block() {
+        // A loop whose back edge targets the entry block: the trace must
+        // not wrap around through the entry.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let entry = f.block_n(1);
+        let exit = f.block_n(0);
+        f.terminate(entry, Terminator::branch(entry, exit, BranchBias::fixed(0.9)));
+        f.terminate(exit, Terminator::Exit);
+        let id = f.finish();
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let prof = Profiler::new().runs(4).profile(&p);
+        let ta = TraceSelector::new().select(p.function(id), id, &prof);
+        // Forward growth from entry toward entry is rejected, so entry is
+        // alone in its trace even though the self-arc dominates.
+        assert_eq!(ta.trace(ta.trace_of(BlockId::new(0))).len(), 1);
+        assert!(ta.is_partition_of(p.function(id)));
+    }
+
+    #[test]
+    fn unexecuted_function_gets_singleton_traces() {
+        let mut pb = ProgramBuilder::new();
+        let dead = pb.reserve("dead");
+        let mut main = pb.function("main");
+        let b = main.block_n(1);
+        main.terminate(b, Terminator::Exit);
+        let mid = main.finish();
+        let mut d = pb.function_reserved(dead);
+        let d0 = d.block_n(1);
+        let d1 = d.block_n(1);
+        d.terminate(d0, Terminator::jump(d1));
+        d.terminate(d1, Terminator::Return);
+        d.finish();
+        pb.set_entry(mid);
+        let p = pb.finish().unwrap();
+        let prof = Profiler::new().runs(2).profile(&p);
+        let ta = TraceSelector::new().select(p.function(dead), dead, &prof);
+        assert_eq!(ta.trace_count(), 2);
+        assert!(ta.traces().iter().all(|t| t.len() == 1));
+    }
+
+    #[test]
+    fn low_probability_arcs_break_traces() {
+        // 50/50 branch: neither arm reaches MIN_PROB of the source.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let entry = f.block_n(1);
+        let a = f.block_n(1);
+        let b = f.block_n(1);
+        let exit = f.block_n(0);
+        f.terminate(entry, Terminator::branch(a, b, BranchBias::fixed(0.5)));
+        f.terminate(a, Terminator::jump(exit));
+        f.terminate(b, Terminator::jump(exit));
+        f.terminate(exit, Terminator::Exit);
+        let id = f.finish();
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let prof = Profiler::new().runs(16).profile(&p);
+        let ta = TraceSelector::new().select(p.function(id), id, &prof);
+        // entry cannot extend into either arm.
+        assert_eq!(ta.trace(ta.trace_of(BlockId::new(0))).len(), 1);
+        assert!(ta.is_partition_of(p.function(id)));
+    }
+
+    #[test]
+    fn min_prob_one_requires_certain_arcs() {
+        let (p, prof) = diamond();
+        let fid = p.entry();
+        let ta = TraceSelector::new().min_prob(1.0).select(p.function(fid), fid, &prof);
+        // With min_prob = 1.0, the 95% branch no longer qualifies, but the
+        // left -> join jump (100% of left's outflow) may still qualify if
+        // join receives only from left... it does not (right also enters),
+        // so every block is a singleton unless arcs are fully captive.
+        let t_entry = ta.trace_of(BlockId::new(0));
+        assert_eq!(ta.trace(t_entry).len(), 1);
+    }
+
+    #[test]
+    fn mean_trace_length_counts_blocks() {
+        let (p, prof) = diamond();
+        let fid = p.entry();
+        let ta = TraceSelector::new().select(p.function(fid), fid, &prof);
+        // 5 blocks in 3 traces.
+        assert_eq!(ta.trace_count(), 3);
+        let mean = ta.mean_trace_length();
+        assert!((mean - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn position_in_trace_matches_order() {
+        let (p, prof) = diamond();
+        let fid = p.entry();
+        let ta = TraceSelector::new().select(p.function(fid), fid, &prof);
+        assert_eq!(ta.position_in_trace(BlockId::new(0)), 0);
+        assert_eq!(ta.position_in_trace(BlockId::new(1)), 1);
+        assert_eq!(ta.position_in_trace(BlockId::new(3)), 2);
+    }
+
+    #[test]
+    fn backward_growth_extends_traces_from_a_hot_seed() {
+        // pre -> mid -> hot_seed, where hot_seed is the heaviest block
+        // (a loop body): the trace must grow backward through mid to pre.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let entry = f.block_n(1);
+        let pre = f.block_n(2);
+        let mid = f.block_n(2);
+        let seed = f.block_n(4);
+        let exit = f.block_n(0);
+        f.terminate(entry, Terminator::jump(pre));
+        f.terminate(pre, Terminator::jump(mid));
+        f.terminate(mid, Terminator::jump(seed));
+        // The seed re-enters `pre` (not entry) most of the time, keeping
+        // pre/mid/seed much hotter than entry... but that back edge would
+        // make `pre` ineligible (two strong predecessors). Use a self-ish
+        // structure instead: seed loops on itself through nothing — give
+        // seed extra weight by a side loop to a buffer block.
+        let buf = f.block_n(1);
+        f.terminate(seed, Terminator::branch(buf, exit, BranchBias::fixed(0.9)));
+        f.terminate(buf, Terminator::jump(seed));
+        f.terminate(exit, Terminator::Exit);
+        let id = f.finish();
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let prof = Profiler::new().runs(8).profile(&p);
+
+        let ta = TraceSelector::new().select(p.function(id), id, &prof);
+        // seed (3) and buf (5) are the heaviest; whichever seeds first,
+        // the pre->mid chain must attach backward to the seed's trace.
+        let t_seed = ta.trace_of(BlockId::new(3));
+        // pre and mid are reached once per run but form a 100% chain into
+        // the seed; backward growth requires arc >= 0.7 * w(seed), which
+        // fails here (seed is ~10x hotter). So pre/mid form their own
+        // trace together via forward growth from pre.
+        let t_pre = ta.trace_of(BlockId::new(1));
+        assert_eq!(ta.trace_of(BlockId::new(2)), t_pre, "pre-mid chain holds");
+        assert_ne!(t_pre, t_seed, "weight asymmetry blocks backward growth");
+        assert!(ta.is_partition_of(p.function(id)));
+    }
+
+    #[test]
+    fn backward_growth_pulls_equal_weight_predecessors() {
+        // a -> b -> c all executed equally once per run, c also carries a
+        // heavy self-ish loop making it the seed, but with weights equal
+        // a<-b<-c backward growth fires when the chain dominates both
+        // endpoints. Construct: entry -> a -> b -> c -> exit (straight
+        // line): every block weight 1 per run; the heaviest-block seed is
+        // a (lowest id among equals), growing forward through the chain.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let entry = f.block_n(0);
+        let a = f.block_n(2);
+        let b = f.block_n(2);
+        let c = f.block_n(2);
+        f.terminate(entry, Terminator::jump(a));
+        f.terminate(a, Terminator::jump(b));
+        f.terminate(b, Terminator::jump(c));
+        f.terminate(c, Terminator::Exit);
+        let id = f.finish();
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let prof = Profiler::new().runs(4).profile(&p);
+
+        let ta = TraceSelector::new().select(p.function(id), id, &prof);
+        // All four blocks carry equal weight; the seed is block 0 (entry,
+        // ties break toward the lower id), and forward growth chains
+        // everything into a single trace.
+        assert_eq!(ta.trace_count(), 1);
+        assert_eq!(
+            ta.trace(0),
+            &[BlockId::new(0), BlockId::new(1), BlockId::new(2), BlockId::new(3)]
+        );
+    }
+
+    #[test]
+    fn backward_growth_stops_at_already_selected_blocks() {
+        // Two chains share a predecessor: x -> m and y -> m (50/50 from
+        // diverge). m is the hot seed; its best predecessor carries only
+        // half of m's weight, so backward growth must stop immediately.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let diverge = f.block_n(1);
+        let x = f.block_n(2);
+        let y = f.block_n(2);
+        let m = f.block_n(3);
+        let exit = f.block_n(0);
+        f.terminate(diverge, Terminator::branch(x, y, BranchBias::fixed(0.5)));
+        f.terminate(x, Terminator::jump(m));
+        f.terminate(y, Terminator::jump(m));
+        f.terminate(m, Terminator::branch(diverge, exit, BranchBias::fixed(0.85)));
+        f.terminate(exit, Terminator::Exit);
+        let id = f.finish();
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let prof = Profiler::new().runs(8).profile(&p);
+
+        let ta = TraceSelector::new().select(p.function(id), id, &prof);
+        let t_m = ta.trace_of(BlockId::new(3));
+        // Neither x nor y carries >= 0.7 of m's inflow.
+        assert_ne!(ta.trace_of(BlockId::new(1)), t_m);
+        assert_ne!(ta.trace_of(BlockId::new(2)), t_m);
+        assert!(ta.is_partition_of(p.function(id)));
+    }
+
+    use impact_ir::Program;
+    use impact_profile::Profile;
+}

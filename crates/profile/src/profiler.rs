@@ -1,0 +1,466 @@
+//! Weighted call/control graphs accumulated over profiling runs.
+
+use std::collections::BTreeMap;
+
+use impact_ir::{BlockId, FuncId, Program};
+use serde::{Deserialize, Serialize};
+
+use crate::walk::{ExecLimits, ExecSummary, ExecVisitor, Transfer, TransferKind, Walker};
+
+/// The weighted control graph of one function.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionProfile {
+    /// Times the function was invoked.
+    pub invocations: u64,
+    /// Execution count per basic block (indexed by block id).
+    pub block_counts: Vec<u64>,
+    /// Intra-function arc execution counts, keyed `(from, to)`.
+    ///
+    /// A `Call` terminator contributes an arc from the calling block to its
+    /// return continuation, recorded when the callee actually returns (so
+    /// a program that exits inside the callee does not inflate the arc).
+    pub arcs: BTreeMap<(BlockId, BlockId), u64>,
+}
+
+impl FunctionProfile {
+    /// Outgoing weighted arcs of `block`, heaviest first (ties broken by
+    /// destination id for determinism).
+    #[must_use]
+    pub fn successors_by_weight(&self, block: BlockId) -> Vec<(BlockId, u64)> {
+        let mut out: Vec<(BlockId, u64)> = self
+            .arcs
+            .range((block, BlockId::new(0))..=(block, BlockId::new(u32::MAX as usize)))
+            .map(|(&(_, to), &w)| (to, w))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Incoming weighted arcs of `block`, heaviest first (ties broken by
+    /// source id).
+    #[must_use]
+    pub fn predecessors_by_weight(&self, block: BlockId) -> Vec<(BlockId, u64)> {
+        let mut out: Vec<(BlockId, u64)> = self
+            .arcs
+            .iter()
+            .filter(|(&(_, to), _)| to == block)
+            .map(|(&(from, _), &w)| (from, w))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// A complete program profile: weighted call graph plus one weighted
+/// control graph per function, with whole-run totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Per-function weighted control graphs (indexed by function id).
+    pub funcs: Vec<FunctionProfile>,
+    /// Execution count of every call site `(caller, calling block)`.
+    pub call_sites: BTreeMap<(FuncId, BlockId), u64>,
+    /// Weighted call-graph arcs `(caller, callee)`; self-arcs are kept
+    /// (the global layout pass zeroes them per the paper's pseudocode).
+    pub call_arcs: BTreeMap<(FuncId, FuncId), u64>,
+    /// Number of profiling runs accumulated.
+    pub runs: u32,
+    /// Aggregate walk statistics summed over runs.
+    pub totals: ExecSummary,
+}
+
+impl Profile {
+    /// Creates an empty profile shaped for `program`.
+    #[must_use]
+    pub fn empty_for(program: &Program) -> Self {
+        Self {
+            funcs: program
+                .functions()
+                .map(|(_, f)| FunctionProfile {
+                    invocations: 0,
+                    block_counts: vec![0; f.block_count()],
+                    arcs: BTreeMap::new(),
+                })
+                .collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Execution count of a basic block.
+    #[must_use]
+    pub fn block_weight(&self, func: FuncId, block: BlockId) -> u64 {
+        self.funcs[func.index()].block_counts[block.index()]
+    }
+
+    /// Execution count of an intra-function arc.
+    #[must_use]
+    pub fn arc_weight(&self, func: FuncId, from: BlockId, to: BlockId) -> u64 {
+        *self.funcs[func.index()]
+            .arcs
+            .get(&(from, to))
+            .unwrap_or(&0)
+    }
+
+    /// Invocation count of a function (the node weight of the weighted
+    /// call graph).
+    #[must_use]
+    pub fn func_weight(&self, func: FuncId) -> u64 {
+        self.funcs[func.index()].invocations
+    }
+
+    /// Execution count of one call site.
+    #[must_use]
+    pub fn call_site_weight(&self, caller: FuncId, block: BlockId) -> u64 {
+        *self.call_sites.get(&(caller, block)).unwrap_or(&0)
+    }
+
+    /// Weight of a call-graph arc `(caller, callee)`, with self-arcs
+    /// reported as zero (matching `weight(X, X) = 0` in the paper's
+    /// `GlobalLayout` pseudocode).
+    #[must_use]
+    pub fn call_arc_weight(&self, caller: FuncId, callee: FuncId) -> u64 {
+        if caller == callee {
+            return 0;
+        }
+        *self.call_arcs.get(&(caller, callee)).unwrap_or(&0)
+    }
+
+    /// The function profile for `func`.
+    #[must_use]
+    pub fn function(&self, func: FuncId) -> &FunctionProfile {
+        &self.funcs[func.index()]
+    }
+
+    /// Dynamic instructions per dynamic call (Table 3, "DI's per call").
+    /// Returns `None` if no calls were executed.
+    #[must_use]
+    pub fn instrs_per_call(&self) -> Option<f64> {
+        (self.totals.calls > 0)
+            .then(|| self.totals.instructions as f64 / self.totals.calls as f64)
+    }
+
+    /// Intra-function control transfers per dynamic call (Table 3, "CT's
+    /// per call"). Returns `None` if no calls were executed.
+    #[must_use]
+    pub fn transfers_per_call(&self) -> Option<f64> {
+        (self.totals.calls > 0)
+            .then(|| self.totals.intra_transfers as f64 / self.totals.calls as f64)
+    }
+
+    /// Merges another profile of the *same program shape* into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiles have different function/block shapes.
+    pub fn merge(&mut self, other: &Profile) {
+        assert_eq!(self.funcs.len(), other.funcs.len(), "shape mismatch");
+        for (a, b) in self.funcs.iter_mut().zip(&other.funcs) {
+            assert_eq!(
+                a.block_counts.len(),
+                b.block_counts.len(),
+                "shape mismatch"
+            );
+            a.invocations += b.invocations;
+            for (x, y) in a.block_counts.iter_mut().zip(&b.block_counts) {
+                *x += *y;
+            }
+            for (&k, &w) in &b.arcs {
+                *a.arcs.entry(k).or_insert(0) += w;
+            }
+        }
+        for (&k, &w) in &other.call_sites {
+            *self.call_sites.entry(k).or_insert(0) += w;
+        }
+        for (&k, &w) in &other.call_arcs {
+            *self.call_arcs.entry(k).or_insert(0) += w;
+        }
+        self.runs += other.runs;
+        self.totals.instructions += other.totals.instructions;
+        self.totals.blocks += other.totals.blocks;
+        self.totals.intra_transfers += other.totals.intra_transfers;
+        self.totals.calls += other.totals.calls;
+        self.totals.returns += other.totals.returns;
+        self.totals.truncated |= other.totals.truncated;
+    }
+}
+
+/// Visitor that accumulates a [`Profile`] during a walk.
+struct ProfileVisitor<'a> {
+    profile: &'a mut Profile,
+    /// Shadow call stack of `(caller, calling block)` so that the
+    /// call-continuation arc is recorded only when the callee returns.
+    stack: Vec<(FuncId, BlockId)>,
+}
+
+impl ExecVisitor for ProfileVisitor<'_> {
+    fn block(&mut self, func: FuncId, block: BlockId) {
+        self.profile.funcs[func.index()].block_counts[block.index()] += 1;
+    }
+
+    fn transfer(&mut self, t: Transfer) {
+        match t.kind {
+            TransferKind::Call => {
+                let (callee, _) = t.to.expect("call always has a destination");
+                // The continuation block is recovered from the matching
+                // Return transfer; remember who called from where.
+                self.stack.push((t.from_func, t.from_block));
+                *self
+                    .profile
+                    .call_sites
+                    .entry((t.from_func, t.from_block))
+                    .or_insert(0) += 1;
+                *self
+                    .profile
+                    .call_arcs
+                    .entry((t.from_func, callee))
+                    .or_insert(0) += 1;
+                self.profile.funcs[callee.index()].invocations += 1;
+            }
+            TransferKind::Return => {
+                if let Some((caller, call_block)) = self.stack.pop() {
+                    if let Some((to_func, to_block)) = t.to {
+                        debug_assert_eq!(caller, to_func);
+                        *self.profile.funcs[caller.index()]
+                            .arcs
+                            .entry((call_block, to_block))
+                            .or_insert(0) += 1;
+                    }
+                }
+            }
+            k if k.is_intra_function() => {
+                if let Some((_, to_block)) = t.to {
+                    *self.profile.funcs[t.from_func.index()]
+                        .arcs
+                        .entry((t.from_block, to_block))
+                        .or_insert(0) += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs a program over several input seeds and accumulates a [`Profile`].
+///
+/// Mirrors the paper's profiling methodology: "It is critical that the
+/// inputs used ... be representative" — the profiler runs seeds
+/// `base_seed .. base_seed + runs`, and evaluation (in `impact-trace`)
+/// uses a held-out seed.
+///
+/// ```
+/// use impact_profile::Profiler;
+/// let workload = impact_workloads::by_name("wc").unwrap();
+/// let profile = Profiler::new().runs(2).profile(&workload.program);
+/// assert_eq!(profile.func_weight(workload.program.entry()), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    runs: u32,
+    base_seed: u64,
+    limits: ExecLimits,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Profiler {
+    /// A profiler with 8 runs starting at seed 0 and default limits.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            runs: 8,
+            base_seed: 0,
+            limits: ExecLimits::default(),
+        }
+    }
+
+    /// Sets the number of profiling runs (the paper's "runs" column).
+    #[must_use]
+    pub fn runs(mut self, runs: u32) -> Self {
+        assert!(runs > 0, "at least one profiling run is required");
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the first input seed.
+    #[must_use]
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Sets per-run execution limits.
+    #[must_use]
+    pub fn limits(mut self, limits: ExecLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Profiles `program` over the configured seeds.
+    #[must_use]
+    pub fn profile(&self, program: &Program) -> Profile {
+        let mut profile = Profile::empty_for(program);
+        for run in 0..self.runs {
+            let seed = self.base_seed + u64::from(run);
+            let mut visitor = ProfileVisitor {
+                profile: &mut profile,
+                stack: Vec::new(),
+            };
+            let summary = Walker::new(program).with_limits(self.limits).run(seed, &mut visitor);
+            profile.funcs[program.entry().index()].invocations += 1;
+            profile.runs += 1;
+            profile.totals.instructions += summary.instructions;
+            profile.totals.blocks += summary.blocks;
+            profile.totals.intra_transfers += summary.intra_transfers;
+            profile.totals.calls += summary.calls;
+            profile.totals.returns += summary.returns;
+            profile.totals.truncated |= summary.truncated;
+        }
+        profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use impact_ir::{BranchBias, Instr, ProgramBuilder, Terminator};
+
+    use super::*;
+
+    /// main: entry -> loop { call leaf } -> exit, leaf: one block.
+    fn call_loop() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let leaf = pb.reserve("leaf");
+        let mut main = pb.function("main");
+        let entry = main.block(vec![Instr::IntAlu; 2]);
+        let call = main.block(vec![Instr::Load]);
+        let latch = main.block(vec![Instr::IntAlu]);
+        let exit = main.block(vec![]);
+        main.terminate(entry, Terminator::jump(call));
+        main.terminate(call, Terminator::call(leaf, latch));
+        main.terminate(latch, Terminator::branch(call, exit, BranchBias::fixed(0.8)));
+        main.terminate(exit, Terminator::Exit);
+        let main_id = main.finish();
+        let mut lf = pb.function_reserved(leaf);
+        let l0 = lf.block(vec![Instr::Store; 2]);
+        lf.terminate(l0, Terminator::Return);
+        lf.finish();
+        pb.set_entry(main_id);
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn block_weights_reflect_execution() {
+        let p = call_loop();
+        let prof = Profiler::new().runs(4).profile(&p);
+        let main = p.entry();
+        // Entry and exit run exactly once per run.
+        assert_eq!(prof.block_weight(main, BlockId::new(0)), 4);
+        assert_eq!(prof.block_weight(main, BlockId::new(3)), 4);
+        // The loop body runs at least once per run.
+        assert!(prof.block_weight(main, BlockId::new(1)) >= 4);
+    }
+
+    #[test]
+    fn call_site_and_arc_weights_match_leaf_invocations() {
+        let p = call_loop();
+        let prof = Profiler::new().runs(4).profile(&p);
+        let main = p.entry();
+        let leaf = p.function_by_name("leaf").unwrap();
+        let site = prof.call_site_weight(main, BlockId::new(1));
+        assert_eq!(site, prof.func_weight(leaf));
+        assert_eq!(site, prof.call_arc_weight(main, leaf));
+        assert_eq!(site, prof.totals.calls);
+    }
+
+    #[test]
+    fn call_continuation_arc_recorded_on_return() {
+        let p = call_loop();
+        let prof = Profiler::new().runs(4).profile(&p);
+        let main = p.entry();
+        // Arc call-block -> latch must equal the number of completed calls.
+        assert_eq!(
+            prof.arc_weight(main, BlockId::new(1), BlockId::new(2)),
+            prof.totals.returns
+        );
+    }
+
+    #[test]
+    fn flow_conservation_at_loop_latch() {
+        let p = call_loop();
+        let prof = Profiler::new().runs(8).profile(&p);
+        let main = p.entry();
+        let latch = BlockId::new(2);
+        let incoming: u64 = prof.function(main).predecessors_by_weight(latch)
+            .iter()
+            .map(|&(_, w)| w)
+            .sum();
+        assert_eq!(incoming, prof.block_weight(main, latch));
+    }
+
+    #[test]
+    fn successors_sorted_by_weight() {
+        let p = call_loop();
+        let prof = Profiler::new().runs(8).profile(&p);
+        let main = p.entry();
+        let succ = prof.function(main).successors_by_weight(BlockId::new(2));
+        assert_eq!(succ.len(), 2);
+        assert!(succ[0].1 >= succ[1].1);
+        // The heavier arm of a 0.8-biased loop latch is the back-edge.
+        assert_eq!(succ[0].0, BlockId::new(1));
+    }
+
+    #[test]
+    fn entry_function_counts_one_invocation_per_run() {
+        let p = call_loop();
+        let prof = Profiler::new().runs(5).profile(&p);
+        assert_eq!(prof.func_weight(p.entry()), 5);
+        assert_eq!(prof.runs, 5);
+    }
+
+    #[test]
+    fn self_call_arc_weight_reads_zero() {
+        let mut prof = Profile::default();
+        prof.call_arcs.insert((FuncId::new(1), FuncId::new(1)), 99);
+        assert_eq!(prof.call_arc_weight(FuncId::new(1), FuncId::new(1)), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let p = call_loop();
+        let a = Profiler::new().runs(2).profile(&p);
+        let b = Profiler::new().runs(3).base_seed(100).profile(&p);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.runs, 5);
+        assert_eq!(
+            merged.totals.instructions,
+            a.totals.instructions + b.totals.instructions
+        );
+        assert_eq!(
+            merged.block_weight(p.entry(), BlockId::new(0)),
+            a.block_weight(p.entry(), BlockId::new(0))
+                + b.block_weight(p.entry(), BlockId::new(0))
+        );
+    }
+
+    #[test]
+    fn per_call_ratios() {
+        let p = call_loop();
+        let prof = Profiler::new().runs(4).profile(&p);
+        let di = prof.instrs_per_call().unwrap();
+        let ct = prof.transfers_per_call().unwrap();
+        assert!(di > 0.0);
+        assert!(ct > 0.0);
+        assert!(di > ct, "instructions per call should exceed transfers per call");
+    }
+
+    #[test]
+    fn deterministic_profiles() {
+        let p = call_loop();
+        let a = Profiler::new().runs(4).profile(&p);
+        let b = Profiler::new().runs(4).profile(&p);
+        assert_eq!(a, b);
+    }
+}

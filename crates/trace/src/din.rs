@@ -1,0 +1,222 @@
+//! Dinero ("din") trace-format interoperability.
+//!
+//! The din format is the lingua franca of the trace-driven-simulation
+//! era (Dinero III/IV, the simulators behind Smith's studies): one access
+//! per line, `<label> <hex address>`, where label `0` is a data read,
+//! `1` a data write, and `2` an instruction fetch.
+//!
+//! [`write_din`] exports this crate's instruction traces so external
+//! simulators can consume them; [`read_din`] streams instruction fetches
+//! from a din trace into any address consumer, so externally captured
+//! traces can drive `impact-cache`.
+
+use std::io::{self, BufRead, Write};
+
+/// Access labels of the din format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DinLabel {
+    /// Data read (`0`).
+    Read,
+    /// Data write (`1`).
+    Write,
+    /// Instruction fetch (`2`).
+    Fetch,
+}
+
+/// Writes one access in din format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_record<W: Write>(out: &mut W, label: DinLabel, addr: u64) -> io::Result<()> {
+    let l = match label {
+        DinLabel::Read => 0,
+        DinLabel::Write => 1,
+        DinLabel::Fetch => 2,
+    };
+    writeln!(out, "{l} {addr:x}")
+}
+
+/// Streams the instruction-fetch trace of one execution into `out` in din
+/// format. Returns the number of records written.
+///
+/// # Errors
+///
+/// Propagates I/O errors. (The walk itself cannot fail.)
+pub fn write_din<W: Write>(
+    gen: &crate::TraceGenerator<'_>,
+    input_seed: u64,
+    out: &mut W,
+) -> io::Result<u64> {
+    let mut err: Option<io::Error> = None;
+    let mut written = 0u64;
+    gen.run(input_seed, |addr| {
+        if err.is_none() {
+            match write_record(out, DinLabel::Fetch, addr) {
+                Ok(()) => written += 1,
+                Err(e) => err = Some(e),
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(written),
+    }
+}
+
+/// A malformed din line.
+#[derive(Debug)]
+pub struct DinParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending text.
+    pub text: String,
+}
+
+impl std::fmt::Display for DinParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "din line {}: malformed record {:?}", self.line, self.text)
+    }
+}
+
+impl std::error::Error for DinParseError {}
+
+/// Errors from [`read_din`].
+#[derive(Debug)]
+pub enum DinReadError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// A line did not parse.
+    Parse(DinParseError),
+}
+
+impl std::fmt::Display for DinReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DinReadError::Io(e) => write!(f, "din read: {e}"),
+            DinReadError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DinReadError {}
+
+/// Streams every *instruction fetch* (label 2) of a din trace into
+/// `sink`; data references are skipped. Returns the number of fetches
+/// delivered.
+///
+/// # Errors
+///
+/// Returns [`DinReadError`] on I/O failure or a malformed record. Blank
+/// lines and `#` comments are tolerated (some tools emit them).
+pub fn read_din<R: BufRead, F: FnMut(u64)>(
+    reader: R,
+    mut sink: F,
+) -> Result<u64, DinReadError> {
+    let mut fetches = 0u64;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(DinReadError::Io)?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let malformed = || {
+            DinReadError::Parse(DinParseError {
+                line: idx + 1,
+                text: text.to_owned(),
+            })
+        };
+        let mut parts = text.split_whitespace();
+        let label: u8 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(malformed)?;
+        let addr = parts
+            .next()
+            .and_then(|t| u64::from_str_radix(t.trim_start_matches("0x"), 16).ok())
+            .ok_or_else(malformed)?;
+        if label > 2 || parts.next().is_some() {
+            return Err(malformed());
+        }
+        if label == 2 {
+            sink(addr);
+            fetches += 1;
+        }
+    }
+    Ok(fetches)
+}
+
+#[cfg(test)]
+mod tests {
+    use impact_ir::{Instr, ProgramBuilder, Terminator};
+    use impact_layout::baseline;
+
+    use crate::TraceGenerator;
+
+    use super::*;
+
+    fn tiny_program() -> impact_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let b = f.block(vec![Instr::IntAlu; 3]);
+        f.terminate(b, Terminator::Exit);
+        let id = f.finish();
+        pb.set_entry(id);
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn written_traces_read_back_identically() {
+        let p = tiny_program();
+        let placement = baseline::natural(&p);
+        let gen = TraceGenerator::new(&p, &placement);
+        let direct = gen.collect(7);
+
+        let mut buf = Vec::new();
+        let written = write_din(&gen, 7, &mut buf).unwrap();
+        assert_eq!(written, direct.len() as u64);
+
+        let mut read_back = Vec::new();
+        let fetches = read_din(buf.as_slice(), |a| read_back.push(a)).unwrap();
+        assert_eq!(fetches, written);
+        assert_eq!(read_back, direct);
+    }
+
+    #[test]
+    fn data_references_are_skipped() {
+        let din = "0 1000\n1 1004\n2 0\n2 4\n";
+        let mut addrs = Vec::new();
+        let n = read_din(din.as_bytes(), |a| addrs.push(a)).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(addrs, vec![0, 4]);
+    }
+
+    #[test]
+    fn comments_blanks_and_0x_prefixes_are_tolerated() {
+        let din = "# header\n\n2 0x10\n";
+        let mut addrs = Vec::new();
+        read_din(din.as_bytes(), |a| addrs.push(a)).unwrap();
+        assert_eq!(addrs, vec![0x10]);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let din = "2 10\nbogus line\n";
+        let err = read_din(din.as_bytes(), |_| {}).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+
+        let din = "3 10\n"; // label out of range
+        assert!(read_din(din.as_bytes(), |_| {}).is_err());
+        let din = "2 10 extra\n"; // trailing junk
+        assert!(read_din(din.as_bytes(), |_| {}).is_err());
+    }
+
+    #[test]
+    fn record_format_matches_dinero() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, DinLabel::Fetch, 0x1a4).unwrap();
+        write_record(&mut buf, DinLabel::Read, 16).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "2 1a4\n0 10\n");
+    }
+}

@@ -1,0 +1,35 @@
+//! The ten benchmark program models of the IMPACT-I paper.
+//!
+//! The paper evaluates on ten UNIX C programs — `cccp`, `cmp`, `compress`,
+//! `grep`, `lex`, `make`, `tar`, `tee`, `wc`, `yacc` — profiled on real
+//! input files. Neither the programs (as IMPACT-I IR) nor the inputs are
+//! available, so this crate substitutes *synthetic program models*: each
+//! benchmark is an [`impact_ir::Program`] generated from a
+//! [`SyntheticSpec`] whose parameters are calibrated against the
+//! statistics the paper publishes for that benchmark (static and
+//! effective code size, dynamic call frequency, branch behavior / trace
+//! length, and hot-region working-set size, per Tables 2–7).
+//!
+//! The placement algorithm consumes only the weighted call and control
+//! graphs plus code geometry, and the cache simulator consumes only the
+//! fetch stream those graphs generate — so a model that matches the
+//! published graph statistics exercises the same code paths the real
+//! benchmark would (see DESIGN.md, "Substitutions").
+//!
+//! # Example
+//!
+//! ```
+//! let workloads = impact_workloads::all();
+//! assert_eq!(workloads.len(), 10);
+//! let wc = impact_workloads::by_name("wc").unwrap();
+//! assert!(wc.program.function_count() > 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmarks;
+mod spec;
+
+pub use benchmarks::{all, by_name, extended, extended_by_name, EXTENDED_NAMES, NAMES};
+pub use spec::{SyntheticSpec, Workload};

@@ -1,0 +1,103 @@
+//! Explore the instruction-cache design space for one benchmark: size ×
+//! block size × associativity × fill policy, including the stall-cycle
+//! timing model (load forwarding, early continuation, streaming).
+//!
+//! ```text
+//! cargo run --release --example cache_design_space [benchmark] [--fast]
+//! ```
+
+use impact::cache::{
+    AccessSink, Associativity, Cache, CacheConfig, FillPolicy, TimingConfig, TimingModel,
+};
+use impact::experiments::prepare::{prepare, Budget};
+use impact::trace::TraceGenerator;
+
+fn main() {
+    let mut name = "yacc".to_owned();
+    let mut fast = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--fast" {
+            fast = true;
+        } else {
+            name = arg;
+        }
+    }
+    let Some(workload) = impact::workloads::by_name(&name) else {
+        eprintln!(
+            "unknown benchmark {name:?}; pick one of {:?}",
+            impact::workloads::NAMES
+        );
+        std::process::exit(1);
+    };
+
+    let budget = if fast { Budget::fast() } else { Budget::default() };
+    let p = prepare(&workload, &budget);
+    println!(
+        "{name}: {} bytes placed ({} effective), evaluating input seed {}\n",
+        p.result.total_static_bytes(),
+        p.result.effective_static_bytes(),
+        p.eval_seed()
+    );
+
+    // Size x block grid, direct-mapped.
+    println!("miss ratio, direct-mapped (rows: cache bytes, cols: block bytes)");
+    print!("{:>8}", "");
+    for b in [16u64, 32, 64, 128] {
+        print!("{b:>9}B");
+    }
+    println!();
+    for size in [512u64, 1024, 2048, 4096, 8192] {
+        print!("{size:>8}");
+        for block in [16u64, 32, 64, 128] {
+            let stats = simulate(&p, CacheConfig::direct_mapped(size, block));
+            print!("{:>9.3}%", stats.miss_ratio() * 100.0);
+        }
+        println!();
+    }
+
+    // Associativity at the headline geometry.
+    println!("\nmiss ratio at 2KB/64B by associativity");
+    for (label, assoc) in [
+        ("direct", Associativity::Direct),
+        ("2-way ", Associativity::Ways(2)),
+        ("4-way ", Associativity::Ways(4)),
+        ("8-way ", Associativity::Ways(8)),
+        ("full  ", Associativity::Full),
+    ] {
+        let cfg = CacheConfig::direct_mapped(2048, 64).with_associativity(assoc);
+        let stats = simulate(&p, cfg);
+        println!("  {label}: {:>7.3}%", stats.miss_ratio() * 100.0);
+    }
+
+    // Fill policies with the cycle model.
+    println!("\n2KB/64B fill policies under the timing model (4-cycle latency)");
+    for (label, fill) in [
+        ("full block", FillPolicy::FullBlock),
+        ("sectored 8B", FillPolicy::Sectored { sector_bytes: 8 }),
+        ("partial    ", FillPolicy::Partial),
+    ] {
+        let cfg = CacheConfig::direct_mapped(2048, 64).with_fill(fill);
+        let mut model = TimingModel::new(Cache::new(cfg), TimingConfig::default());
+        let gen = TraceGenerator::new(&p.result.program, &p.result.placement)
+            .with_limits(p.budget.eval_limits(&p.workload));
+        gen.run(p.eval_seed(), |addr| model.access(addr));
+        let stats = model.stats();
+        println!(
+            "  {label}: miss {:>6.3}%  traffic {:>6.2}%  cycles/fetch {:.4}",
+            stats.miss_ratio() * 100.0,
+            stats.traffic_ratio() * 100.0,
+            model.cycles_per_access()
+        );
+    }
+}
+
+fn simulate(
+    p: &impact::experiments::prepare::Prepared,
+    config: CacheConfig,
+) -> impact::cache::CacheStats {
+    let mut cache = Cache::new(config);
+    let gen = TraceGenerator::new(&p.result.program, &p.result.placement)
+        .with_limits(p.budget.eval_limits(&p.workload));
+    gen.run(p.eval_seed(), |addr| cache.access(addr));
+    cache.stats()
+}

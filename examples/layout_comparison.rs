@@ -1,0 +1,36 @@
+//! Layout comparison across the paper's ten benchmarks: how much of the
+//! cache win comes from placement, and how a cheap direct-mapped cache
+//! with placement compares to an expensive fully-associative one without
+//! (the paper's §4.2.4 argument).
+//!
+//! ```text
+//! cargo run --release --example layout_comparison [--fast]
+//! ```
+
+use impact::cache::smith;
+use impact::experiments::prepare::{prepare_all, Budget};
+use impact::experiments::tables::ablation;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let budget = if fast { Budget::fast() } else { Budget::default() };
+    let prepared = prepare_all(&budget);
+
+    let rows = ablation::run(&prepared);
+    println!("{}", ablation::render(&rows));
+
+    let n = rows.len() as f64;
+    let avg_full: f64 = rows.iter().map(|r| r.full).sum::<f64>() / n;
+    let avg_fa: f64 = rows.iter().map(|r| r.natural_fully_assoc).sum::<f64>() / n;
+    let smith_2k_64 = smith::target_miss_ratio(2048, 64).expect("2K/64B is in Table 1");
+
+    println!("\nHeadline comparison (2KB cache, 64B blocks):");
+    println!("  Smith's fully-associative design target : {:.2}%", smith_2k_64 * 100.0);
+    println!("  unoptimized layout, fully associative    : {:.2}%", avg_fa * 100.0);
+    println!("  IMPACT-I placement, direct mapped        : {:.2}%", avg_full * 100.0);
+    println!(
+        "\nThe optimized direct-mapped cache achieves {:.1}x lower miss ratio than\n\
+         the design target, with none of the associativity hardware.",
+        smith_2k_64 / avg_full.max(1e-6)
+    );
+}

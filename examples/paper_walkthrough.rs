@@ -1,0 +1,133 @@
+//! A narrated walk through the paper, section by section, on one
+//! benchmark — §3's five placement steps, then §4's evaluation — with
+//! the numbers printed as they arise.
+//!
+//! ```text
+//! cargo run --release --example paper_walkthrough [benchmark]
+//! ```
+
+use impact::cache::{opt, smith, AccessSink, Cache, CacheConfig};
+use impact::experiments::prepare::{prepare, Budget};
+use impact::layout::pipeline::{Pipeline, PipelineConfig};
+use impact::layout::TraceSelector;
+use impact::profile::Profiler;
+use impact::trace::TraceGenerator;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "yacc".to_owned());
+    let Some(workload) = impact::workloads::by_name(&name) else {
+        eprintln!("pick one of {:?}", impact::workloads::NAMES);
+        std::process::exit(1);
+    };
+    let budget = Budget::default();
+
+    println!("=== {} — walking the paper's pipeline ===\n", workload.name);
+
+    // §3 Step 1: execution profiling.
+    let profiler = Profiler::new()
+        .runs(workload.spec.profile_runs)
+        .limits(budget.profile_limits(&workload));
+    let profile = profiler.profile(&workload.program);
+    println!(
+        "Step 1  profiling ({} runs): {:.1}M dynamic instructions, {:.1}M control\n\
+         transfers, {} calls — the weighted call and control graphs.\n",
+        profile.runs,
+        profile.totals.instructions as f64 / 1e6,
+        profile.totals.intra_transfers as f64 / 1e6,
+        profile.totals.calls
+    );
+
+    // §3 Step 2: inline expansion (run inside the pipeline; report after).
+    let prepared = prepare(&workload, &budget);
+    let r = &prepared.result;
+    println!(
+        "Step 2  inline expansion: code {}B -> {}B (+{:.0}%), {:.0}% of dynamic\n\
+         calls eliminated; {:.0} instructions now run between calls.\n",
+        workload.program.total_bytes(),
+        r.program.total_bytes(),
+        r.inline_report.code_increase * 100.0,
+        r.inline_report.call_decrease * 100.0,
+        r.inline_report.instrs_per_call.min(1e9)
+    );
+
+    // §3 Step 3: trace selection (MIN_PROB = 0.7).
+    let selector = TraceSelector::new();
+    let traces = selector.select_program(&r.program, &r.profile);
+    let total_traces: usize = traces.iter().map(|t| t.trace_count()).sum();
+    println!(
+        "Step 3  trace selection: {} traces over {} blocks; dynamic transfers are\n\
+         {:.0}% desirable / {:.0}% neutral / {:.1}% undesirable (paper Table 4).\n",
+        total_traces,
+        r.program
+            .functions()
+            .map(|(_, f)| f.block_count())
+            .sum::<usize>(),
+        r.trace_quality.desirable * 100.0,
+        r.trace_quality.neutral * 100.0,
+        r.trace_quality.undesirable * 100.0
+    );
+
+    // §3 Steps 4-5: function + global layout.
+    println!(
+        "Step 4+5 layout: effective region {}B of {}B total; function order starts\n\
+         with {:?} (weighted DFS from main).\n",
+        r.effective_static_bytes(),
+        r.total_static_bytes(),
+        r.global
+            .order()
+            .iter()
+            .take(4)
+            .map(|&f| r.program.function(f).name())
+            .collect::<Vec<_>>()
+    );
+
+    // §4: trace-driven evaluation at the headline configuration.
+    let config = CacheConfig::direct_mapped(2048, 64);
+    let eval = |program, placement: &impact::layout::Placement| {
+        let mut cache = Cache::new(config);
+        TraceGenerator::new(program, placement)
+            .with_limits(budget.eval_limits(&workload))
+            .run(prepared.eval_seed(), |a| cache.access(a));
+        cache.stats()
+    };
+    let optimized = eval(&r.program, &r.placement);
+    let natural = eval(&prepared.baseline_program, &prepared.baseline);
+    println!(
+        "§4      2KB direct-mapped, 64B blocks, held-out input {}:\n\
+         \tnatural layout   miss {:.3}%  traffic {:.2}%\n\
+         \toptimized        miss {:.3}%  traffic {:.2}%\n\
+         \tSmith's target   miss {:.1}%  (fully associative, unoptimized)\n",
+        prepared.eval_seed(),
+        natural.miss_ratio() * 100.0,
+        natural.traffic_ratio() * 100.0,
+        optimized.miss_ratio() * 100.0,
+        optimized.traffic_ratio() * 100.0,
+        smith::target_miss_ratio(2048, 64).unwrap() * 100.0
+    );
+
+    // Bonus: what would an oracle replacement policy do for the natural
+    // layout? (Belady's OPT — the bound no hardware can beat.)
+    let mut trace = Vec::new();
+    TraceGenerator::new(&prepared.baseline_program, &prepared.baseline)
+        .with_limits(budget.eval_limits(&workload))
+        .run(prepared.eval_seed(), |a| trace.push(a));
+    let opt8 = opt::simulate_opt(
+        &trace,
+        CacheConfig::direct_mapped(2048, 64)
+            .with_associativity(impact::cache::Associativity::Ways(8)),
+    );
+    println!(
+        "oracle  Belady OPT, 8-way, natural layout: miss {:.3}% — placement on a\n\
+         plain direct-mapped cache{} this unbeatable hardware bound.",
+        opt8.miss_ratio() * 100.0,
+        if optimized.miss_ratio() <= opt8.miss_ratio() {
+            " beats even"
+        } else {
+            " approaches"
+        }
+    );
+
+    // Keep the pipeline type exercised end to end for readers who copy
+    // this file as a template.
+    let _ = Pipeline::new(PipelineConfig::default());
+}

@@ -1,0 +1,434 @@
+//! `impact` — the command-line front end over `.impact` program files.
+//!
+//! ```text
+//! impact report   <file>                          profile and describe a program
+//! impact optimize <file> [-o out.impact]          run the placement pipeline,
+//!                                                 emit the reordered program
+//! impact sim      <file> [options]                trace-driven cache simulation
+//! impact viz      <file> [options]                placement map and cache-set pressure
+//! impact trace    <file> -o out.din               export a din-format fetch trace
+//! impact simtrace <trace.din> [options]           simulate an external din trace
+//!
+//! common options:
+//!   --runs N        profiling runs                      (default 8)
+//!   --seed S        evaluation input seed               (default 1000003)
+//!   --max-instrs N  dynamic instruction cap per walk    (default 5000000)
+//!
+//! sim options:
+//!   --cache BYTES   cache size                          (default 2048)
+//!   --block BYTES   block size                          (default 64)
+//!   --assoc A       direct | full | <N>                 (default direct)
+//!   --fill F        full | partial | sector:<BYTES>     (default full)
+//!   --no-optimize   simulate the program's natural layout
+//! ```
+//!
+//! Example session:
+//!
+//! ```text
+//! cargo run --release --example dump_program -- yacc yacc.impact
+//! cargo run --release --bin impact -- sim yacc.impact --cache 2048
+//! cargo run --release --bin impact -- optimize yacc.impact -o yacc.opt.impact
+//! ```
+
+use std::process::ExitCode;
+
+use impact::asm::{parse_program, print_program};
+use impact::cache::{AccessSink, Associativity, Cache, CacheConfig, FillPolicy};
+use impact::ir::Program;
+use impact::layout::materialize::materialize;
+use impact::layout::pipeline::{Pipeline, PipelineConfig};
+use impact::layout::{baseline, Placement};
+use impact::profile::{ExecLimits, Profiler};
+use impact::trace::TraceGenerator;
+
+/// Options shared by all subcommands.
+struct Options {
+    file: String,
+    out: Option<String>,
+    runs: u32,
+    seed: u64,
+    max_instrs: u64,
+    cache: u64,
+    block: u64,
+    assoc: Associativity,
+    fill: FillPolicy,
+    optimize: bool,
+}
+
+impl Options {
+    fn limits(&self) -> ExecLimits {
+        ExecLimits {
+            max_instructions: self.max_instrs,
+            max_call_depth: 512,
+        }
+    }
+
+    fn pipeline(&self) -> Pipeline {
+        Pipeline::new(PipelineConfig {
+            profile_runs: self.runs,
+            limits: self.limits(),
+            ..PipelineConfig::default()
+        })
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: impact <report|optimize|sim> <file.impact> [options]\n\
+         see `src/bin/impact.rs` header for the option list"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        return usage();
+    };
+
+    let mut opts = Options {
+        file: String::new(),
+        out: None,
+        runs: 8,
+        seed: 1_000_003,
+        max_instrs: 5_000_000,
+        cache: 2048,
+        block: 64,
+        assoc: Associativity::Direct,
+        fill: FillPolicy::FullBlock,
+        optimize: true,
+    };
+
+    let mut rest: Vec<String> = args.collect();
+    let mut i = 0;
+    let mut positional: Vec<String> = Vec::new();
+    while i < rest.len() {
+        let take_value = |rest: &mut Vec<String>, i: usize| -> Option<String> {
+            (i + 1 < rest.len()).then(|| rest.remove(i + 1))
+        };
+        match rest[i].as_str() {
+            "-o" | "--out" => match take_value(&mut rest, i) {
+                Some(v) => opts.out = Some(v),
+                None => return usage(),
+            },
+            "--runs" => match take_value(&mut rest, i).and_then(|v| v.parse().ok()) {
+                Some(v) => opts.runs = v,
+                None => return usage(),
+            },
+            "--seed" => match take_value(&mut rest, i).and_then(|v| v.parse().ok()) {
+                Some(v) => opts.seed = v,
+                None => return usage(),
+            },
+            "--max-instrs" => match take_value(&mut rest, i).and_then(|v| v.parse().ok()) {
+                Some(v) => opts.max_instrs = v,
+                None => return usage(),
+            },
+            "--cache" => match take_value(&mut rest, i).and_then(|v| v.parse().ok()) {
+                Some(v) => opts.cache = v,
+                None => return usage(),
+            },
+            "--block" => match take_value(&mut rest, i).and_then(|v| v.parse().ok()) {
+                Some(v) => opts.block = v,
+                None => return usage(),
+            },
+            "--assoc" => match take_value(&mut rest, i) {
+                Some(v) => {
+                    opts.assoc = match v.as_str() {
+                        "direct" => Associativity::Direct,
+                        "full" => Associativity::Full,
+                        n => match n.parse() {
+                            Ok(ways) => Associativity::Ways(ways),
+                            Err(_) => return usage(),
+                        },
+                    }
+                }
+                None => return usage(),
+            },
+            "--fill" => match take_value(&mut rest, i) {
+                Some(v) => {
+                    opts.fill = match v.as_str() {
+                        "full" => FillPolicy::FullBlock,
+                        "partial" => FillPolicy::Partial,
+                        s => match s.strip_prefix("sector:").and_then(|n| n.parse().ok()) {
+                            Some(sector_bytes) => FillPolicy::Sectored { sector_bytes },
+                            None => return usage(),
+                        },
+                    }
+                }
+                None => return usage(),
+            },
+            "--no-optimize" => opts.optimize = false,
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown option {flag}");
+                return usage();
+            }
+            _ => {
+                positional.push(rest[i].clone());
+                i += 1;
+                continue;
+            }
+        }
+        rest.remove(i);
+    }
+    let [file] = positional.as_slice() else {
+        return usage();
+    };
+    opts.file = file.clone();
+
+    if command == "simtrace" {
+        return simtrace(&opts);
+    }
+
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match command.as_str() {
+        "report" => report(&program, &opts),
+        "optimize" => optimize(&program, &opts),
+        "sim" => sim(&program, &opts),
+        "viz" => viz(&program, &opts),
+        "trace" => trace(&program, &opts),
+        _ => usage(),
+    }
+}
+
+fn report(program: &Program, opts: &Options) -> ExitCode {
+    println!(
+        "{}: {} functions, {} blocks, {} bytes",
+        opts.file,
+        program.function_count(),
+        program
+            .functions()
+            .map(|(_, f)| f.block_count())
+            .sum::<usize>(),
+        program.total_bytes()
+    );
+
+    let profiler = Profiler::new().runs(opts.runs).limits(opts.limits());
+    let profile = profiler.profile(program);
+    println!(
+        "profile over {} runs: {} instructions, {} control transfers, {} calls{}",
+        profile.runs,
+        profile.totals.instructions,
+        profile.totals.intra_transfers,
+        profile.totals.calls,
+        if profile.totals.truncated {
+            " (some runs truncated)"
+        } else {
+            ""
+        }
+    );
+
+    let mut funcs: Vec<_> = program
+        .functions()
+        .map(|(fid, f)| (profile.func_weight(fid), f.name().to_owned(), f.size_bytes()))
+        .collect();
+    funcs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    println!("\n{:<20} {:>12} {:>8}", "function", "invocations", "bytes");
+    for (w, name, bytes) in funcs.iter().take(15) {
+        println!("{name:<20} {w:>12} {bytes:>8}");
+    }
+    if funcs.len() > 15 {
+        println!("... and {} more", funcs.len() - 15);
+    }
+    ExitCode::SUCCESS
+}
+
+fn optimize(program: &Program, opts: &Options) -> ExitCode {
+    let result = opts.pipeline().run(program);
+    println!(
+        "placement: {} bytes ({} effective), inlining removed {:.1}% of calls,\n\
+         trace quality {:.0}% desirable / {:.0}% neutral, mean trace {:.1} blocks",
+        result.total_static_bytes(),
+        result.effective_static_bytes(),
+        result.inline_report.call_decrease * 100.0,
+        result.trace_quality.desirable * 100.0,
+        result.trace_quality.neutral * 100.0,
+        result.trace_quality.mean_trace_length,
+    );
+
+    let materialized = materialize(&result.program, &result.global, &result.layouts);
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, print_program(&materialized)) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote reordered program to {path}");
+        }
+        None => println!(
+            "(pass `-o out.impact` to write the reordered program; \
+             function order: {})",
+            result
+                .global
+                .order()
+                .iter()
+                .take(8)
+                .map(|&f| result.program.function(f).name().to_owned())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    }
+    ExitCode::SUCCESS
+}
+
+fn trace(program: &Program, opts: &Options) -> ExitCode {
+    let Some(out_path) = &opts.out else {
+        eprintln!("trace requires -o <out.din>");
+        return ExitCode::FAILURE;
+    };
+    let (sim_program, placement): (Program, Placement) = if opts.optimize {
+        let result = opts.pipeline().run(program);
+        (result.program.clone(), result.placement)
+    } else {
+        (program.clone(), baseline::natural(program))
+    };
+    let gen = TraceGenerator::new(&sim_program, &placement).with_limits(opts.limits());
+    let file = match std::fs::File::create(out_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut writer = std::io::BufWriter::new(file);
+    match impact::trace::din::write_din(&gen, opts.seed, &mut writer) {
+        Ok(n) => {
+            println!("wrote {n} fetch records to {out_path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {out_path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn simtrace(opts: &Options) -> ExitCode {
+    let config = CacheConfig {
+        size_bytes: opts.cache,
+        block_bytes: opts.block,
+        associativity: opts.assoc,
+        fill: opts.fill,
+        replacement: impact::cache::Replacement::Lru,
+    };
+    if let Err(e) = config.validate() {
+        eprintln!("bad cache configuration: {e}");
+        return ExitCode::FAILURE;
+    }
+    let file = match std::fs::File::open(&opts.file) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cache = Cache::new(config);
+    let reader = std::io::BufReader::new(file);
+    match impact::trace::din::read_din(reader, |addr| cache.access(addr)) {
+        Ok(_) => {
+            let stats = cache.stats();
+            println!(
+                "{}: {} fetches | miss {:.4}% | traffic {:.2}%",
+                opts.file,
+                stats.accesses,
+                stats.miss_ratio() * 100.0,
+                stats.traffic_ratio() * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn viz(program: &Program, opts: &Options) -> ExitCode {
+    let result = opts.pipeline().run(program);
+    println!(
+        "{}",
+        impact::experiments::viz::placement_map(
+            &result.program,
+            &result.profile,
+            &result.placement
+        )
+    );
+    let config = CacheConfig {
+        size_bytes: opts.cache,
+        block_bytes: opts.block,
+        associativity: Associativity::Direct,
+        fill: FillPolicy::FullBlock,
+        replacement: impact::cache::Replacement::Lru,
+    };
+    if let Err(e) = config.validate() {
+        eprintln!("bad cache configuration: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{}",
+        impact::experiments::viz::set_pressure(
+            &result.program,
+            &result.profile,
+            &result.placement,
+            config,
+            10
+        )
+    );
+    ExitCode::SUCCESS
+}
+
+fn sim(program: &Program, opts: &Options) -> ExitCode {
+    let config = CacheConfig {
+        size_bytes: opts.cache,
+        block_bytes: opts.block,
+        associativity: opts.assoc,
+        fill: opts.fill,
+        replacement: impact::cache::Replacement::Lru,
+    };
+    if let Err(e) = config.validate() {
+        eprintln!("bad cache configuration: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let (sim_program, placement): (Program, Placement) = if opts.optimize {
+        let result = opts.pipeline().run(program);
+        (result.program.clone(), result.placement)
+    } else {
+        (program.clone(), baseline::natural(program))
+    };
+
+    let mut cache = Cache::new(config);
+    let gen = TraceGenerator::new(&sim_program, &placement).with_limits(opts.limits());
+    let summary = gen.run(opts.seed, |addr| cache.access(addr));
+    let stats = cache.stats();
+    println!(
+        "{} layout, {}B cache, {}B blocks, seed {}:",
+        if opts.optimize { "optimized" } else { "natural" },
+        opts.cache,
+        opts.block,
+        opts.seed
+    );
+    println!(
+        "  {} fetches{} | miss {:.4}% | traffic {:.2}% | avg.fetch {:.1} | avg.exec {:.1}",
+        stats.accesses,
+        if summary.truncated { " (truncated)" } else { "" },
+        stats.miss_ratio() * 100.0,
+        stats.traffic_ratio() * 100.0,
+        stats.avg_fetch(),
+        stats.avg_exec()
+    );
+    ExitCode::SUCCESS
+}

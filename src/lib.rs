@@ -1,0 +1,24 @@
+//! Facade crate for the IMPACT-I instruction placement reproduction.
+//!
+//! Re-exports the whole pipeline under one roof. See the individual crates
+//! for details:
+//!
+//! * [`ir`] — program representation,
+//! * [`workloads`] — the ten synthetic benchmark models,
+//! * [`profile`] — execution profiling,
+//! * [`layout`] — the placement optimizer (the paper's contribution),
+//! * [`trace`] — dynamic instruction-address traces,
+//! * [`cache`] — trace-driven cache simulation,
+//! * [`experiments`] — the per-table reproduction harness,
+//! * [`asm`] — a human-readable text format for program models.
+
+#![forbid(unsafe_code)]
+
+pub use impact_asm as asm;
+pub use impact_cache as cache;
+pub use impact_experiments as experiments;
+pub use impact_ir as ir;
+pub use impact_layout as layout;
+pub use impact_profile as profile;
+pub use impact_trace as trace;
+pub use impact_workloads as workloads;

@@ -1,0 +1,154 @@
+//! End-to-end tests of the `impact` command-line binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn impact_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_impact"))
+}
+
+/// Writes a small test program to a temp file, returns its path.
+fn sample_file(name: &str) -> PathBuf {
+    let src = r#"
+program entry=main
+fn main {
+  init:
+    ialu x4
+    jmp loop
+  loop:
+    load
+    ialu x2
+    call work -> latch
+  latch:
+    br loop done p=0.999 spread=0.0005
+  done:
+    exit
+}
+fn work {
+  body:
+    ialu x5
+    store
+    ret
+}
+"#;
+    let path = std::env::temp_dir().join(format!("impact_cli_test_{name}.impact"));
+    std::fs::write(&path, src).expect("temp file is writable");
+    path
+}
+
+#[test]
+fn report_describes_the_program() {
+    let file = sample_file("report");
+    let out = impact_bin()
+        .args(["report", file.to_str().unwrap(), "--max-instrs", "200000"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 functions"), "{text}");
+    assert!(text.contains("work"), "{text}");
+    assert!(text.contains("invocations"), "{text}");
+}
+
+#[test]
+fn sim_reports_cache_statistics() {
+    let file = sample_file("sim");
+    let out = impact_bin()
+        .args([
+            "sim",
+            file.to_str().unwrap(),
+            "--cache",
+            "512",
+            "--block",
+            "64",
+            "--max-instrs",
+            "200000",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("miss"), "{text}");
+    assert!(text.contains("optimized layout"), "{text}");
+}
+
+#[test]
+fn optimize_round_trips_through_the_text_format() {
+    let file = sample_file("optimize");
+    let out_path = std::env::temp_dir().join("impact_cli_test_optimized.impact");
+    let out = impact_bin()
+        .args([
+            "optimize",
+            file.to_str().unwrap(),
+            "-o",
+            out_path.to_str().unwrap(),
+            "--max-instrs",
+            "200000",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // The emitted file must itself be a valid program the CLI can re-simulate.
+    let out2 = impact_bin()
+        .args([
+            "sim",
+            out_path.to_str().unwrap(),
+            "--no-optimize",
+            "--max-instrs",
+            "200000",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out2.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out2.stderr)
+    );
+}
+
+#[test]
+fn trace_then_simtrace_round_trips() {
+    let file = sample_file("trace");
+    let din = std::env::temp_dir().join("impact_cli_test.din");
+    let out = impact_bin()
+        .args([
+            "trace",
+            file.to_str().unwrap(),
+            "-o",
+            din.to_str().unwrap(),
+            "--max-instrs",
+            "50000",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = impact_bin()
+        .args(["simtrace", din.to_str().unwrap(), "--cache", "2048"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fetches"), "{text}");
+}
+
+#[test]
+fn bad_input_fails_with_a_line_numbered_error() {
+    let path = std::env::temp_dir().join("impact_cli_test_bad.impact");
+    std::fs::write(&path, "program entry=main\nfn main {\n a:\n  jmp nowhere\n}\n").unwrap();
+    let out = impact_bin()
+        .args(["report", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 4"), "{err}");
+}
+
+#[test]
+fn unknown_subcommand_prints_usage() {
+    let out = impact_bin().args(["frobnicate"]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -1,0 +1,63 @@
+//! End-to-end coverage of the extended (§5) benchmark set.
+
+use impact::asm::{parse_program, print_program};
+use impact::cache::CacheConfig;
+use impact::experiments::prepare::{prepare, Budget};
+use impact::experiments::sim;
+
+fn budget() -> Budget {
+    Budget {
+        profile_instrs: Some(60_000),
+        eval_instrs: Some(150_000),
+    }
+}
+
+#[test]
+fn extended_benchmarks_survive_the_pipeline() {
+    for w in impact::workloads::extended() {
+        let p = prepare(&w, &budget());
+        assert!(
+            p.result.placement.is_valid_for(&p.result.program),
+            "{}: invalid placement",
+            w.name
+        );
+        let stats = sim::simulate(
+            &p.result.program,
+            &p.result.placement,
+            p.eval_seed(),
+            budget().eval_limits(&w),
+            &[CacheConfig::direct_mapped(2048, 64)],
+        )[0];
+        assert!(stats.accesses > 0, "{}: empty trace", w.name);
+        assert!(stats.miss_ratio() < 0.2, "{}: pathological misses", w.name);
+    }
+}
+
+#[test]
+fn extended_benchmarks_round_trip_through_asm() {
+    for w in impact::workloads::extended() {
+        let text = print_program(&w.program);
+        let parsed = parse_program(&text).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(parsed, w.program, "{}: asm round trip", w.name);
+    }
+}
+
+#[test]
+fn dispatch_shaped_benchmarks_spread_weight_across_handlers() {
+    // awk's interpreter loop must execute several distinct handlers (not
+    // collapse onto one switch arm).
+    let w = impact::workloads::extended_by_name("awk").unwrap();
+    let p = prepare(&w, &budget());
+    let profile = &p.result.pre_inline_profile;
+    let phase = w.program.function_by_name("phase_0").unwrap();
+    let func = w.program.function(phase);
+    let executed_blocks = func
+        .block_ids()
+        .filter(|b| profile.block_weight(phase, *b) > 0)
+        .count();
+    assert!(
+        executed_blocks > func.block_count() / 2,
+        "only {executed_blocks} of {} blocks executed",
+        func.block_count()
+    );
+}
