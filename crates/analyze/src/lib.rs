@@ -1,0 +1,202 @@
+//! Pass-based static analysis and lints for the IMPACT-I pipeline.
+//!
+//! The reproduction's artifacts — [`Program`](impact_ir::Program)s,
+//! [`Profile`](impact_profile::Profile)s, trace assignments, and
+//! [`Placement`](impact_layout::placement::Placement)s — obey invariants
+//! that the rest of the codebase mostly asserts in tests or not at all.
+//! This crate makes them first-class: each invariant is a [`Pass`] with a
+//! stable diagnostic code, and a [`Registry`] runs passes over a
+//! [`Context`] to produce a [`Report`] renderable as text or JSON.
+//!
+//! # Codes
+//!
+//! | Code | Severity | Checks |
+//! |--------|---------|--------|
+//! | IPA001 | warning | blocks unreachable from their function entry |
+//! | IPA002 | error | profile flow conservation (Kirchhoff's law on block counts) |
+//! | IPA003 | error | outgoing branch mass equals block execution count |
+//! | IPA004 | error | structural validation (dangling callees, bad targets) |
+//! | IPA005 | warning | call-graph cycles (functions the inliner must skip) |
+//! | IPA101 | error | every block has an address |
+//! | IPA102 | error | blocks tile memory: no overlaps, no gaps |
+//! | IPA103 | error | effective / non-executed split honored |
+//! | IPA104 | error | 4-byte instruction alignment |
+//! | IPA105 | warning | selected traces broken across the layout |
+//! | IPA201 | warning | hot lines contesting one direct-mapped cache set |
+//!
+//! The contract: a full pipeline run over any of the bundled workloads
+//! lints **error-free** (`impact lint` relies on this; warnings are
+//! informational).
+//!
+//! # Example
+//!
+//! ```
+//! use impact_layout::pipeline::{Pipeline, PipelineConfig};
+//!
+//! let w = impact_workloads::by_name("wc").unwrap();
+//! let result = Pipeline::new(PipelineConfig::default()).run(&w.program);
+//! let report = impact_analyze::lint_result(&result);
+//! assert!(report.is_clean(), "{}", report.render());
+//! ```
+
+pub mod cache;
+pub mod diag;
+pub mod pass;
+pub mod placement;
+pub mod program;
+
+pub use cache::ConflictConfig;
+pub use diag::{Diagnostic, Location, Report, Severity};
+pub use pass::{Context, Pass, Registry};
+
+use impact_ir::Program;
+use impact_layout::pipeline::{
+    Checkpoint, Pipeline, PipelineError, PipelineObserver, PipelineResult,
+};
+use impact_layout::placement::Placement;
+use impact_profile::Profile;
+
+/// Lints a finished pipeline run with the standard registry.
+#[must_use]
+pub fn lint_result(result: &PipelineResult) -> Report {
+    Registry::standard().run(&Context::of_result(result))
+}
+
+/// Lints a bare program (plus optional profile) with the program-level
+/// registry — usable before any layout exists.
+#[must_use]
+pub fn lint_program(program: &Program, profile: Option<&Profile>) -> Report {
+    let mut ctx = Context::program_only(program);
+    if let Some(p) = profile {
+        ctx = ctx.with_profile(p);
+    }
+    Registry::program_lints().run(&ctx)
+}
+
+/// Verifies a placement against a program, explaining every violation.
+///
+/// This is the diagnostic replacement for the deprecated bare-bool
+/// `Placement::is_valid_for`: an empty report means the placement covers
+/// the program exactly (every block placed, no overlaps or gaps, aligned).
+#[must_use]
+pub fn verify_placement(program: &Program, placement: &Placement) -> Report {
+    let ctx = Context::program_only(program).with_placement(placement);
+    let mut r = Registry::empty();
+    r.register(Box::new(placement::PlacementCoverage));
+    r.register(Box::new(placement::PlacementOverlap));
+    r.register(Box::new(placement::Alignment));
+    r.run(&ctx)
+}
+
+/// A [`Pipeline`] that lints its own intermediate artifacts as it runs
+/// (the opt-in "checked mode").
+///
+/// Program lints run on the profiled and inlined programs; the full
+/// standard registry runs on the final result. All findings accumulate
+/// into one [`Report`] returned next to the pipeline output.
+#[derive(Debug, Default)]
+pub struct CheckedPipeline {
+    pipeline: Pipeline,
+}
+
+impl CheckedPipeline {
+    /// Wraps a configured pipeline.
+    #[must_use]
+    pub fn new(pipeline: Pipeline) -> Self {
+        Self { pipeline }
+    }
+
+    /// Runs the pipeline, linting at every checkpoint.
+    #[must_use]
+    pub fn run(&self, program: &Program) -> (PipelineResult, Report) {
+        let mut observer = LintObserver::default();
+        let result = self.pipeline.run_observed(program, &mut observer);
+        (result, observer.report)
+    }
+
+    /// [`CheckedPipeline::run`] with input validation up front.
+    pub fn try_run(&self, program: &Program) -> Result<(PipelineResult, Report), PipelineError> {
+        let mut observer = LintObserver::default();
+        let result = self.pipeline.try_run_observed(program, &mut observer)?;
+        Ok((result, observer.report))
+    }
+}
+
+/// Observer that lints each pipeline checkpoint into one report.
+#[derive(Debug, Default)]
+struct LintObserver {
+    report: Report,
+}
+
+impl PipelineObserver for LintObserver {
+    fn checkpoint(&mut self, checkpoint: &Checkpoint<'_>) {
+        match checkpoint {
+            Checkpoint::Profiled { program, profile }
+            | Checkpoint::Inlined { program, profile } => {
+                let ctx = Context::program_only(program).with_profile(profile);
+                self.report
+                    .diagnostics
+                    .extend(Registry::program_lints().run(&ctx).diagnostics);
+            }
+            // Trace selection is linted as part of the final result
+            // (IPA105 needs the placement too).
+            Checkpoint::TracesSelected { .. } => {}
+            Checkpoint::Placed { result } => {
+                let ctx = Context::of_result(result);
+                let mut registry = Registry::placement_verifiers();
+                registry.register(Box::new(cache::ConflictPressure));
+                self.report
+                    .diagnostics
+                    .extend(registry.run(&ctx).diagnostics);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use impact_layout::pipeline::{Pipeline, PipelineConfig};
+
+    use super::*;
+
+    #[test]
+    fn checked_pipeline_is_clean_on_a_workload() {
+        let w = impact_workloads::by_name("tee").expect("tee exists");
+        let checked = CheckedPipeline::new(Pipeline::new(PipelineConfig::default()));
+        let (result, report) = checked.run(&w.program);
+        assert!(report.is_clean(), "{}", report.render());
+        // The checked run produced the same placement as a plain run.
+        let plain = Pipeline::new(PipelineConfig::default()).run(&w.program);
+        assert_eq!(result.placement, plain.placement);
+    }
+
+    #[test]
+    fn verify_placement_replaces_is_valid_for() {
+        let w = impact_workloads::by_name("wc").expect("wc exists");
+        let natural = impact_layout::baseline::natural(&w.program);
+        let report = verify_placement(&w.program, &natural);
+        assert!(report.is_clean(), "{}", report.render());
+        #[allow(deprecated)]
+        {
+            assert_eq!(report.is_clean(), natural.is_valid_for(&w.program));
+        }
+    }
+
+    #[test]
+    fn lint_program_runs_without_layout_artifacts() {
+        let w = impact_workloads::by_name("cmp").expect("cmp exists");
+        let report = lint_program(&w.program, None);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn checked_try_run_rejects_bad_config() {
+        let w = impact_workloads::by_name("wc").expect("wc exists");
+        let checked = CheckedPipeline::new(Pipeline::new(PipelineConfig {
+            min_prob: 0.0,
+            ..PipelineConfig::default()
+        }));
+        assert!(checked.try_run(&w.program).is_err());
+    }
+}

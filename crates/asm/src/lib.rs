@@ -64,8 +64,7 @@ mod round_trip_tests {
     fn all_ten_benchmarks_round_trip() {
         for w in impact_workloads::all() {
             let text = print_program(&w.program);
-            let parsed = parse_program(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let parsed = parse_program(&text).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             assert_eq!(parsed, w.program, "{} did not round-trip", w.name);
         }
     }

@@ -191,7 +191,10 @@ fn parse_raw(src: &str) -> Result<((String, usize), Vec<RawFunc>), ParseError> {
                     [one] => Some(
                         one.strip_prefix("entry=")
                             .ok_or_else(|| {
-                                err(line_no, ParseErrorKind::UnexpectedLine { text: line.into() })
+                                err(
+                                    line_no,
+                                    ParseErrorKind::UnexpectedLine { text: line.into() },
+                                )
                             })?
                             .to_owned(),
                     ),
@@ -248,7 +251,10 @@ fn parse_raw(src: &str) -> Result<((String, usize), Vec<RawFunc>), ParseError> {
             }
             (Some(func), tokens) => {
                 let block = func.blocks.last_mut().ok_or_else(|| {
-                    err(line_no, ParseErrorKind::UnexpectedLine { text: line.into() })
+                    err(
+                        line_no,
+                        ParseErrorKind::UnexpectedLine { text: line.into() },
+                    )
                 })?;
                 if block.term.is_some() {
                     return Err(err(line_no, ParseErrorKind::CodeAfterTerminator));
@@ -279,9 +285,9 @@ fn parse_statement(block: &mut RawBlock, tokens: &[&str], line: usize) -> Result
     let instr = |i: Instr, block: &mut RawBlock, rest: &[&str]| -> Result<(), ParseError> {
         let count = match rest {
             [] => 1,
-            [x] if x.starts_with('x') => x[1..].parse::<usize>().map_err(|_| {
-                err(line, ParseErrorKind::BadNumber { token: (*x).into() })
-            })?,
+            [x] if x.starts_with('x') => x[1..]
+                .parse::<usize>()
+                .map_err(|_| err(line, ParseErrorKind::BadNumber { token: (*x).into() }))?,
             _ => {
                 return Err(err(
                     line,
@@ -295,9 +301,14 @@ fn parse_statement(block: &mut RawBlock, tokens: &[&str], line: usize) -> Result
         Ok(())
     };
     let number = |token: &str| -> Result<f64, ParseError> {
-        token
-            .parse::<f64>()
-            .map_err(|_| err(line, ParseErrorKind::BadNumber { token: token.into() }))
+        token.parse::<f64>().map_err(|_| {
+            err(
+                line,
+                ParseErrorKind::BadNumber {
+                    token: token.into(),
+                },
+            )
+        })
     };
 
     match tokens {
@@ -328,7 +339,12 @@ fn parse_statement(block: &mut RawBlock, tokens: &[&str], line: usize) -> Result
                 }
             }
             let p = p.ok_or_else(|| {
-                err(line, ParseErrorKind::UnexpectedLine { text: "br without p=".into() })
+                err(
+                    line,
+                    ParseErrorKind::UnexpectedLine {
+                        text: "br without p=".into(),
+                    },
+                )
             })?;
             block.term = Some(RawTerm::Br {
                 taken: (*taken).to_owned(),
@@ -344,11 +360,18 @@ fn parse_statement(block: &mut RawBlock, tokens: &[&str], line: usize) -> Result
                 let (label, weight) = arm.split_once('*').ok_or_else(|| {
                     err(
                         line,
-                        ParseErrorKind::UnexpectedLine { text: (*arm).to_owned() },
+                        ParseErrorKind::UnexpectedLine {
+                            text: (*arm).to_owned(),
+                        },
                     )
                 })?;
                 let w: u32 = weight.parse().map_err(|_| {
-                    err(line, ParseErrorKind::BadNumber { token: weight.into() })
+                    err(
+                        line,
+                        ParseErrorKind::BadNumber {
+                            token: weight.into(),
+                        },
+                    )
                 })?;
                 targets.push((label.to_owned(), w));
             }
@@ -380,18 +403,16 @@ fn parse_statement(block: &mut RawBlock, tokens: &[&str], line: usize) -> Result
 }
 
 /// Pass 2: raw AST → validated program.
-fn build(
-    entry_name: &str,
-    entry_line: usize,
-    funcs: &[RawFunc],
-) -> Result<Program, ParseError> {
+fn build(entry_name: &str, entry_line: usize, funcs: &[RawFunc]) -> Result<Program, ParseError> {
     let mut pb = ProgramBuilder::new();
     let mut func_ids = HashMap::new();
     for f in funcs {
         if func_ids.contains_key(f.name.as_str()) {
             return Err(err(
                 f.line,
-                ParseErrorKind::DuplicateFunction { name: f.name.clone() },
+                ParseErrorKind::DuplicateFunction {
+                    name: f.name.clone(),
+                },
             ));
         }
         func_ids.insert(f.name.as_str(), pb.reserve(f.name.clone()));
@@ -405,13 +426,23 @@ fn build(
         }
         let resolve = |label: &str, line: usize| -> Result<BlockId, ParseError> {
             labels.get(label).copied().ok_or_else(|| {
-                err(line, ParseErrorKind::UnknownLabel { label: label.to_owned() })
+                err(
+                    line,
+                    ParseErrorKind::UnknownLabel {
+                        label: label.to_owned(),
+                    },
+                )
             })
         };
 
         for b in &f.blocks {
             let term = b.term.as_ref().ok_or_else(|| {
-                err(b.line, ParseErrorKind::MissingTerminator { label: b.label.clone() })
+                err(
+                    b.line,
+                    ParseErrorKind::MissingTerminator {
+                        label: b.label.clone(),
+                    },
+                )
             })?;
             let tl = b.term_line;
             let t = match term {
@@ -445,7 +476,12 @@ fn build(
                 }
                 RawTerm::Call { callee, ret_to } => {
                     let callee_id = func_ids.get(callee.as_str()).ok_or_else(|| {
-                        err(tl, ParseErrorKind::UnknownFunction { name: callee.clone() })
+                        err(
+                            tl,
+                            ParseErrorKind::UnknownFunction {
+                                name: callee.clone(),
+                            },
+                        )
                     })?;
                     Terminator::call(*callee_id, resolve(ret_to, tl)?)
                 }
@@ -457,7 +493,12 @@ fn build(
 
         if let Some(entry_label) = &f.entry {
             let id = labels.get(entry_label.as_str()).ok_or_else(|| {
-                err(f.line, ParseErrorKind::UnknownLabel { label: entry_label.clone() })
+                err(
+                    f.line,
+                    ParseErrorKind::UnknownLabel {
+                        label: entry_label.clone(),
+                    },
+                )
             })?;
             fb.set_entry(*id);
         }
@@ -467,12 +508,20 @@ fn build(
     let entry_id = func_ids.get(entry_name).ok_or_else(|| {
         err(
             entry_line,
-            ParseErrorKind::UnknownFunction { name: entry_name.to_owned() },
+            ParseErrorKind::UnknownFunction {
+                name: entry_name.to_owned(),
+            },
         )
     })?;
     pb.set_entry(*entry_id);
-    pb.finish()
-        .map_err(|e| err(0, ParseErrorKind::Invalid { detail: e.to_string() }))
+    pb.finish().map_err(|e| {
+        err(
+            0,
+            ParseErrorKind::Invalid {
+                detail: e.to_string(),
+            },
+        )
+    })
 }
 
 #[cfg(test)]
@@ -515,11 +564,7 @@ mod tests {
         );
         assert_eq!(p.function_count(), 2);
         let helper = p.function_by_name("helper").unwrap();
-        assert!(p
-            .call_graph()
-            .sites()
-            .iter()
-            .any(|s| s.callee == helper));
+        assert!(p.call_graph().sites().iter().any(|s| s.callee == helper));
     }
 
     #[test]
@@ -553,8 +598,8 @@ mod tests {
 
     #[test]
     fn error_unknown_label() {
-        let e = parse_program("program entry=main\nfn main {\n a:\n  jmp nowhere\n}\n")
-            .unwrap_err();
+        let e =
+            parse_program("program entry=main\nfn main {\n a:\n  jmp nowhere\n}\n").unwrap_err();
         assert!(matches!(e.kind, ParseErrorKind::UnknownLabel { .. }));
     }
 
@@ -579,8 +624,8 @@ mod tests {
 
     #[test]
     fn error_code_after_terminator() {
-        let e = parse_program("program entry=main\nfn main {\n a:\n  exit\n  ialu\n}\n")
-            .unwrap_err();
+        let e =
+            parse_program("program entry=main\nfn main {\n a:\n  exit\n  ialu\n}\n").unwrap_err();
         assert!(matches!(e.kind, ParseErrorKind::CodeAfterTerminator));
         assert_eq!(e.line, 5);
     }
@@ -602,10 +647,8 @@ mod tests {
         let e = parse_program("program entry=main\nfn main {\n a:\n  ialu xq\n  exit\n}\n")
             .unwrap_err();
         assert!(matches!(e.kind, ParseErrorKind::BadNumber { .. }));
-        let e = parse_program(
-            "program entry=main\nfn main {\n a:\n  br a a p=1.5\n}\n",
-        )
-        .unwrap_err();
+        let e =
+            parse_program("program entry=main\nfn main {\n a:\n  br a a p=1.5\n}\n").unwrap_err();
         assert!(matches!(e.kind, ParseErrorKind::BadNumber { .. }));
     }
 
@@ -617,8 +660,8 @@ mod tests {
 
     #[test]
     fn error_messages_carry_line_numbers() {
-        let e = parse_program("program entry=main\nfn main {\n a:\n  jmp nowhere\n}\n")
-            .unwrap_err();
+        let e =
+            parse_program("program entry=main\nfn main {\n a:\n  jmp nowhere\n}\n").unwrap_err();
         assert_eq!(e.line, 4);
         assert!(e.to_string().contains("line 4"));
     }

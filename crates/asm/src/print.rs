@@ -14,7 +14,12 @@ pub fn print_program(program: &Program) -> String {
 
     for (_, func) in program.functions() {
         out.push('\n');
-        let _ = writeln!(out, "fn {} entry=bb{} {{", func.name(), func.entry().index());
+        let _ = writeln!(
+            out,
+            "fn {} entry=bb{} {{",
+            func.name(),
+            func.entry().index()
+        );
         for (bid, block) in func.blocks() {
             let _ = writeln!(out, "  bb{}:", bid.index());
             print_body(&mut out, block);
@@ -108,7 +113,10 @@ mod tests {
         let b1 = f.block(vec![]);
         let b2 = f.block(vec![Instr::Nop]);
         let b3 = f.block(vec![Instr::FpAlu, Instr::Store]);
-        f.terminate(b0, Terminator::branch(b1, b2, BranchBias::varying(0.75, 0.1)));
+        f.terminate(
+            b0,
+            Terminator::branch(b1, b2, BranchBias::varying(0.75, 0.1)),
+        );
         f.terminate(
             b1,
             Terminator::Switch {

@@ -2,16 +2,17 @@
 
 use impact_asm::{parse_program, print_program};
 use impact_ir::{BlockId, BranchBias, FuncId, Instr, Program, ProgramBuilder, Terminator};
-use proptest::prelude::*;
+use impact_support::check::forall;
+use impact_support::Rng;
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        Just(Instr::IntAlu),
-        Just(Instr::FpAlu),
-        Just(Instr::Load),
-        Just(Instr::Store),
-        Just(Instr::Nop),
-    ]
+fn gen_instr(rng: &mut Rng) -> Instr {
+    match rng.gen_below(5) {
+        0 => Instr::IntAlu,
+        1 => Instr::FpAlu,
+        2 => Instr::Load,
+        3 => Instr::Store,
+        _ => Instr::Nop,
+    }
 }
 
 /// A terminator plan with indices resolved modulo actual counts.
@@ -25,87 +26,107 @@ enum Plan {
     Exit,
 }
 
-fn arb_plan() -> impl Strategy<Value = Plan> {
-    prop_oneof![
-        any::<usize>().prop_map(Plan::Jump),
-        (any::<usize>(), any::<usize>(), 0u16..=1000, 0u16..=500)
-            .prop_map(|(a, b, p, s)| Plan::Branch(a, b, p, s)),
-        prop::collection::vec((any::<usize>(), 0u32..9), 1..4).prop_map(Plan::Switch),
-        (any::<usize>(), any::<usize>()).prop_map(|(f, r)| Plan::Call(f, r)),
-        Just(Plan::Return),
-        Just(Plan::Exit),
-    ]
-}
-
-fn arb_program() -> impl Strategy<Value = Program> {
-    prop::collection::vec(
-        prop::collection::vec((prop::collection::vec(arb_instr(), 0..8), arb_plan()), 1..6),
-        1..4,
-    )
-    .prop_map(|plans| {
-        let mut pb = ProgramBuilder::new();
-        let ids: Vec<FuncId> = (0..plans.len())
-            .map(|i| pb.reserve(format!("f{i}")))
-            .collect();
-        for (fi, blocks) in plans.iter().enumerate() {
-            let mut fb = pb.function_reserved(ids[fi]);
-            let bids: Vec<BlockId> = blocks.iter().map(|(body, _)| fb.block(body.clone())).collect();
-            let n = bids.len();
-            for (bi, (_, plan)) in blocks.iter().enumerate() {
-                let r = |x: usize| bids[x % n];
-                let term = match plan {
-                    Plan::Jump(t) => Terminator::jump(r(*t)),
-                    Plan::Branch(a, b, p, s) => {
-                        // Quantized probabilities survive the decimal
-                        // round trip exactly.
-                        let p = f64::from(*p) / 1000.0;
-                        let s = (f64::from(*s) / 1000.0).min(1.0);
-                        Terminator::branch(r(*a), r(*b), BranchBias::varying(p, s))
-                    }
-                    Plan::Switch(arms) => {
-                        let mut targets: Vec<(BlockId, u32)> =
-                            arms.iter().map(|(t, w)| (r(*t), *w)).collect();
-                        if targets.iter().all(|(_, w)| *w == 0) {
-                            targets[0].1 = 1;
-                        }
-                        Terminator::Switch { targets }
-                    }
-                    Plan::Call(f, ret) => Terminator::call(ids[*f % ids.len()], r(*ret)),
-                    Plan::Return => Terminator::Return,
-                    Plan::Exit => Terminator::Exit,
-                };
-                fb.terminate(bids[bi], term);
-            }
-            fb.finish();
+fn gen_plan(rng: &mut Rng) -> Plan {
+    match rng.gen_below(6) {
+        0 => Plan::Jump(rng.next_u64() as usize),
+        1 => Plan::Branch(
+            rng.next_u64() as usize,
+            rng.next_u64() as usize,
+            rng.gen_below(1001) as u16,
+            rng.gen_below(501) as u16,
+        ),
+        2 => {
+            let arms = rng.gen_range_inclusive(1, 3);
+            Plan::Switch(
+                (0..arms)
+                    .map(|_| (rng.next_u64() as usize, rng.gen_below(9) as u32))
+                    .collect(),
+            )
         }
-        pb.set_entry(ids[0]);
-        pb.finish().expect("generated programs are valid")
-    })
+        3 => Plan::Call(rng.next_u64() as usize, rng.next_u64() as usize),
+        4 => Plan::Return,
+        _ => Plan::Exit,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn gen_program(rng: &mut Rng) -> Program {
+    let nfuncs = rng.gen_range_inclusive(1, 3);
+    let plans: Vec<Vec<(Vec<Instr>, Plan)>> = (0..nfuncs)
+        .map(|_| {
+            let nblocks = rng.gen_range_inclusive(1, 5);
+            (0..nblocks)
+                .map(|_| {
+                    let body_len = rng.gen_below(8) as usize;
+                    let body: Vec<Instr> = (0..body_len).map(|_| gen_instr(rng)).collect();
+                    (body, gen_plan(rng))
+                })
+                .collect()
+        })
+        .collect();
 
-    /// print → parse is the identity on programs.
-    #[test]
-    fn print_parse_round_trip(program in arb_program()) {
-        let text = print_program(&program);
-        let parsed = parse_program(&text)
-            .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{text}")))?;
-        prop_assert_eq!(parsed, program);
+    let mut pb = ProgramBuilder::new();
+    let ids: Vec<FuncId> = (0..plans.len())
+        .map(|i| pb.reserve(format!("f{i}")))
+        .collect();
+    for (fi, blocks) in plans.iter().enumerate() {
+        let mut fb = pb.function_reserved(ids[fi]);
+        let bids: Vec<BlockId> = blocks
+            .iter()
+            .map(|(body, _)| fb.block(body.clone()))
+            .collect();
+        let n = bids.len();
+        for (bi, (_, plan)) in blocks.iter().enumerate() {
+            let r = |x: usize| bids[x % n];
+            let term = match plan {
+                Plan::Jump(t) => Terminator::jump(r(*t)),
+                Plan::Branch(a, b, p, s) => {
+                    // Quantized probabilities survive the decimal
+                    // round trip exactly.
+                    let p = f64::from(*p) / 1000.0;
+                    let s = (f64::from(*s) / 1000.0).min(1.0);
+                    Terminator::branch(r(*a), r(*b), BranchBias::varying(p, s))
+                }
+                Plan::Switch(arms) => {
+                    let mut targets: Vec<(BlockId, u32)> =
+                        arms.iter().map(|(t, w)| (r(*t), *w)).collect();
+                    if targets.iter().all(|(_, w)| *w == 0) {
+                        targets[0].1 = 1;
+                    }
+                    Terminator::Switch { targets }
+                }
+                Plan::Call(f, ret) => Terminator::call(ids[*f % ids.len()], r(*ret)),
+                Plan::Return => Terminator::Return,
+                Plan::Exit => Terminator::Exit,
+            };
+            fb.terminate(bids[bi], term);
+        }
+        fb.finish();
     }
+    pb.set_entry(ids[0]);
+    pb.finish().expect("generated programs are valid")
+}
 
-    /// Printed programs never contain lines the parser would reject, even
-    /// after whitespace-only perturbation.
-    #[test]
-    fn printed_text_is_whitespace_insensitive(program in arb_program()) {
-        let text = print_program(&program);
+/// print → parse is the identity on programs.
+#[test]
+fn print_parse_round_trip() {
+    forall(128, gen_program, |program| {
+        let text = print_program(program);
+        let parsed = parse_program(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert_eq!(&parsed, program);
+    });
+}
+
+/// Printed programs never contain lines the parser would reject, even
+/// after whitespace-only perturbation.
+#[test]
+fn printed_text_is_whitespace_insensitive() {
+    forall(128, gen_program, |program| {
+        let text = print_program(program);
         let perturbed: String = text
             .lines()
             .map(|l| format!("   {}   \n", l.trim()))
             .collect();
-        let parsed = parse_program(&perturbed)
-            .map_err(|e| TestCaseError::fail(e.to_string()))?;
-        prop_assert_eq!(parsed, program);
-    }
+        let parsed = parse_program(&perturbed).expect("perturbed text parses");
+        assert_eq!(&parsed, program);
+    });
 }

@@ -6,54 +6,50 @@
 //! `repro ablation`; these benches establish that the quality wins are
 //! not bought with pathological compile-time costs.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use impact_bench::bench_budget;
 use impact_experiments::prepare::pipeline_config;
 use impact_layout::pipeline::{Pipeline, PipelineConfig};
 use impact_layout::trace_select::TraceSelector;
 use impact_profile::Profiler;
+use impact_support::bench::Harness;
 use std::hint::black_box;
 
-fn bench_ablations(c: &mut Criterion) {
+fn main() {
     let workload = impact_workloads::by_name("make").expect("make exists");
     let budget = bench_budget();
     let base = pipeline_config(&workload, &budget);
 
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
+    let group = Harness::new("ablations", 500);
 
     for min_prob in [0.5, 0.7, 0.9] {
-        group.bench_function(format!("pipeline_min_prob_{min_prob}"), |b| {
-            let config = PipelineConfig {
-                min_prob,
-                ..base.clone()
-            };
-            let pipeline = Pipeline::new(config);
-            b.iter(|| black_box(pipeline.run(black_box(&workload.program))))
+        let config = PipelineConfig {
+            min_prob,
+            ..base.clone()
+        };
+        let pipeline = Pipeline::new(config);
+        group.bench(&format!("pipeline_min_prob_{min_prob}"), || {
+            black_box(pipeline.run(black_box(&workload.program)))
         });
     }
 
-    group.bench_function("pipeline_no_inline", |b| {
+    {
         let config = PipelineConfig {
             inline: None,
             ..base.clone()
         };
         let pipeline = Pipeline::new(config);
-        b.iter(|| black_box(pipeline.run(black_box(&workload.program))))
-    });
+        group.bench("pipeline_no_inline", || {
+            black_box(pipeline.run(black_box(&workload.program)))
+        });
+    }
 
     // Trace selection alone across MIN_PROB (the knob's direct cost).
     let profiler = Profiler::new().runs(base.profile_runs).limits(base.limits);
     let profile = profiler.profile(&workload.program);
     for min_prob in [0.5, 0.7, 0.9] {
-        group.bench_function(format!("trace_select_min_prob_{min_prob}"), |b| {
-            let selector = TraceSelector::new().min_prob(min_prob);
-            b.iter(|| black_box(selector.select_program(black_box(&workload.program), &profile)))
+        let selector = TraceSelector::new().min_prob(min_prob);
+        group.bench(&format!("trace_select_min_prob_{min_prob}"), || {
+            black_box(selector.select_program(black_box(&workload.program), &profile))
         });
     }
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

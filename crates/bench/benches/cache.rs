@@ -1,12 +1,12 @@
 //! Cache-simulator throughput: accesses per second across organizations,
 //! fill policies, and the timing model; plus trace-generation speed.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use impact_cache::{
     AccessSink, Associativity, Cache, CacheConfig, FillPolicy, TimingConfig, TimingModel,
 };
 use impact_layout::baseline;
 use impact_profile::ExecLimits;
+use impact_support::bench::Harness;
 use impact_trace::TraceGenerator;
 use std::hint::black_box;
 
@@ -21,13 +21,10 @@ fn sample_trace() -> Vec<u64> {
     gen.collect(w.eval_seed())
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn main() {
     let trace = sample_trace();
-    let n = trace.len() as u64;
 
-    let mut group = c.benchmark_group("cache_throughput");
-    group.throughput(Throughput::Elements(n));
-    group.sample_size(20);
+    let group = Harness::new("cache_throughput", 500);
 
     let configs: Vec<(&str, CacheConfig)> = vec![
         ("direct_2k_64", CacheConfig::direct_mapped(2048, 64)),
@@ -41,9 +38,8 @@ fn bench_cache(c: &mut Criterion) {
         ),
         (
             "sectored_2k_64_8",
-            CacheConfig::direct_mapped(2048, 64).with_fill(FillPolicy::Sectored {
-                sector_bytes: 8,
-            }),
+            CacheConfig::direct_mapped(2048, 64)
+                .with_fill(FillPolicy::Sectored { sector_bytes: 8 }),
         ),
         (
             "partial_2k_64",
@@ -51,50 +47,37 @@ fn bench_cache(c: &mut Criterion) {
         ),
     ];
     for (name, config) in configs {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut cache = Cache::new(config);
-                for &a in &trace {
-                    cache.access(a);
-                }
-                black_box(cache.stats())
-            })
+        group.bench(name, || {
+            let mut cache = Cache::new(config);
+            for &a in &trace {
+                cache.access(a);
+            }
+            black_box(cache.stats())
         });
     }
 
-    group.bench_function("timing_model_direct_2k_64", |b| {
-        b.iter(|| {
-            let mut model = TimingModel::new(
-                Cache::new(CacheConfig::direct_mapped(2048, 64)),
-                TimingConfig::default(),
-            );
-            for &a in &trace {
-                model.access(a);
-            }
-            black_box(model.cycles())
-        })
+    group.bench("timing_model_direct_2k_64", || {
+        let mut model = TimingModel::new(
+            Cache::new(CacheConfig::direct_mapped(2048, 64)),
+            TimingConfig::default(),
+        );
+        for &a in &trace {
+            model.access(a);
+        }
+        black_box(model.cycles())
     });
-    group.finish();
 
     // How fast do we generate traces (walker + address emission)?
     let w = impact_workloads::by_name("grep").expect("grep exists");
     let placement = baseline::natural(&w.program);
-    let mut gen_group = c.benchmark_group("trace_generation");
-    gen_group.throughput(Throughput::Elements(n));
-    gen_group.sample_size(20);
-    gen_group.bench_function("grep_200k", |b| {
-        b.iter(|| {
-            let gen = TraceGenerator::new(&w.program, &placement).with_limits(ExecLimits {
-                max_instructions: 200_000,
-                max_call_depth: 512,
-            });
-            let mut sink = 0u64;
-            gen.run(w.eval_seed(), |a| sink ^= a);
-            black_box(sink)
-        })
+    let gen_group = Harness::new("trace_generation", 500);
+    gen_group.bench("grep_200k", || {
+        let gen = TraceGenerator::new(&w.program, &placement).with_limits(ExecLimits {
+            max_instructions: 200_000,
+            max_call_depth: 512,
+        });
+        let mut sink = 0u64;
+        gen.run(w.eval_seed(), |a| sink ^= a);
+        black_box(sink)
     });
-    gen_group.finish();
 }
-
-criterion_group!(benches, bench_cache);
-criterion_main!(benches);

@@ -6,50 +6,40 @@
 //! dynamic accesses." — the estimator's cost is proportional to static
 //! code size, the simulator's to trace length; this bench shows the gap.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use impact_bench::prepared;
 use impact_cache::CacheConfig;
 use impact_experiments::estimate::estimate_direct_mapped;
 use impact_experiments::sim;
+use impact_support::bench::Harness;
 use std::hint::black_box;
 
-fn bench_estimator(c: &mut Criterion) {
+fn main() {
     let p = prepared("make");
     let configs: Vec<CacheConfig> = [512u64, 1024, 2048, 4096, 8192]
         .iter()
         .map(|&s| CacheConfig::direct_mapped(s, 64))
         .collect();
 
-    let mut group = c.benchmark_group("design_space_search");
-    group.sample_size(20);
+    let group = Harness::new("design_space_search", 500);
 
-    group.bench_function("estimator_5_sizes", |b| {
-        b.iter(|| {
-            for &config in &configs {
-                black_box(estimate_direct_mapped(
-                    &p.result.program,
-                    &p.result.profile,
-                    &p.result.placement,
-                    config,
-                ));
-            }
-        })
-    });
-
-    group.bench_function("simulator_5_sizes", |b| {
-        b.iter(|| {
-            black_box(sim::simulate(
+    group.bench("estimator_5_sizes", || {
+        for &config in &configs {
+            black_box(estimate_direct_mapped(
                 &p.result.program,
+                &p.result.profile,
                 &p.result.placement,
-                p.eval_seed(),
-                p.budget.eval_limits(&p.workload),
-                &configs,
-            ))
-        })
+                config,
+            ));
+        }
     });
 
-    group.finish();
+    group.bench("simulator_5_sizes", || {
+        black_box(sim::simulate(
+            &p.result.program,
+            &p.result.placement,
+            p.eval_seed(),
+            p.budget.eval_limits(&p.workload),
+            &configs,
+        ))
+    });
 }
-
-criterion_group!(benches, bench_estimator);
-criterion_main!(benches);

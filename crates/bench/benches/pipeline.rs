@@ -2,7 +2,6 @@
 //! expansion, trace selection, function layout, global layout, and the
 //! end-to-end pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use impact_bench::bench_budget;
 use impact_experiments::prepare::pipeline_config;
 use impact_layout::function_layout::FunctionLayout;
@@ -12,9 +11,10 @@ use impact_layout::pipeline::Pipeline;
 use impact_layout::placement::Placement;
 use impact_layout::trace_select::TraceSelector;
 use impact_profile::Profiler;
+use impact_support::bench::Harness;
 use std::hint::black_box;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let workload = impact_workloads::by_name("yacc").expect("yacc exists");
     let budget = bench_budget();
     let config = pipeline_config(&workload, &budget);
@@ -23,39 +23,34 @@ fn bench_pipeline(c: &mut Criterion) {
         .limits(config.limits);
     let profile = profiler.profile(&workload.program);
 
-    let mut group = c.benchmark_group("pipeline_stages");
-    group.sample_size(20);
+    let group = Harness::new("pipeline_stages", 500);
 
-    group.bench_function("profile_8_runs", |b| {
-        b.iter(|| black_box(profiler.profile(black_box(&workload.program))))
+    group.bench("profile_8_runs", || {
+        black_box(profiler.profile(black_box(&workload.program)))
     });
 
     let inliner = Inliner::new(config.inline.expect("default config inlines"));
-    group.bench_function("inline_to_fixpoint", |b| {
-        b.iter(|| black_box(inliner.run_to_fixpoint(black_box(&workload.program), &profiler)))
+    group.bench("inline_to_fixpoint", || {
+        black_box(inliner.run_to_fixpoint(black_box(&workload.program), &profiler))
     });
 
     let selector = TraceSelector::new();
-    group.bench_function("trace_selection", |b| {
-        b.iter(|| black_box(selector.select_program(black_box(&workload.program), &profile)))
+    group.bench("trace_selection", || {
+        black_box(selector.select_program(black_box(&workload.program), &profile))
     });
 
     let traces = selector.select_program(&workload.program, &profile);
-    group.bench_function("function_layout", |b| {
-        b.iter(|| {
-            let layouts: Vec<FunctionLayout> = workload
-                .program
-                .functions()
-                .map(|(fid, func)| {
-                    FunctionLayout::compute(func, fid, &traces[fid.index()], &profile)
-                })
-                .collect();
-            black_box(layouts)
-        })
+    group.bench("function_layout", || {
+        let layouts: Vec<FunctionLayout> = workload
+            .program
+            .functions()
+            .map(|(fid, func)| FunctionLayout::compute(func, fid, &traces[fid.index()], &profile))
+            .collect();
+        black_box(layouts)
     });
 
-    group.bench_function("global_layout", |b| {
-        b.iter(|| black_box(GlobalOrder::compute(black_box(&workload.program), &profile)))
+    group.bench("global_layout", || {
+        black_box(GlobalOrder::compute(black_box(&workload.program), &profile))
     });
 
     let layouts: Vec<FunctionLayout> = workload
@@ -64,17 +59,16 @@ fn bench_pipeline(c: &mut Criterion) {
         .map(|(fid, func)| FunctionLayout::compute(func, fid, &traces[fid.index()], &profile))
         .collect();
     let global = GlobalOrder::compute(&workload.program, &profile);
-    group.bench_function("address_assignment", |b| {
-        b.iter(|| black_box(Placement::assemble(black_box(&workload.program), &global, &layouts)))
+    group.bench("address_assignment", || {
+        black_box(Placement::assemble(
+            black_box(&workload.program),
+            &global,
+            &layouts,
+        ))
     });
 
-    group.bench_function("end_to_end", |b| {
-        let pipeline = Pipeline::new(config.clone());
-        b.iter(|| black_box(pipeline.run(black_box(&workload.program))))
+    let pipeline = Pipeline::new(config.clone());
+    group.bench("end_to_end", || {
+        black_box(pipeline.run(black_box(&workload.program)))
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

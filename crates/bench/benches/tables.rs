@@ -1,56 +1,49 @@
-//! One Criterion group per paper table: the cost of regenerating each
+//! One harness group per paper table: the cost of regenerating each
 //! table end to end (pipeline outputs are prepared once and reused, as in
 //! the `repro` binary).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use impact_bench::prepared_all;
 use impact_experiments::tables;
+use impact_support::bench::Harness;
 use std::hint::black_box;
 
-fn bench_tables(c: &mut Criterion) {
+fn main() {
     let prepared = prepared_all();
-    let mut group = c.benchmark_group("tables");
-    group.sample_size(10);
+    let group = Harness::new("tables", 500);
 
-    group.bench_function("table1_smith_baseline", |b| {
-        b.iter(|| black_box(tables::t1::run(black_box(&prepared))))
+    group.bench("table1_smith_baseline", || {
+        black_box(tables::t1::run(black_box(&prepared)))
     });
-    group.bench_function("table2_profile", |b| {
-        b.iter(|| black_box(tables::t2::run(black_box(&prepared))))
+    group.bench("table2_profile", || {
+        black_box(tables::t2::run(black_box(&prepared)))
     });
-    group.bench_function("table3_inline", |b| {
-        b.iter(|| black_box(tables::t3::run(black_box(&prepared))))
+    group.bench("table3_inline", || {
+        black_box(tables::t3::run(black_box(&prepared)))
     });
-    group.bench_function("table4_trace_selection", |b| {
-        b.iter(|| black_box(tables::t4::run(black_box(&prepared))))
+    group.bench("table4_trace_selection", || {
+        black_box(tables::t4::run(black_box(&prepared)))
     });
-    group.bench_function("table5_code_sizes", |b| {
-        b.iter(|| black_box(tables::t5::run(black_box(&prepared))))
+    group.bench("table5_code_sizes", || {
+        black_box(tables::t5::run(black_box(&prepared)))
     });
-    group.bench_function("table6_cache_size", |b| {
-        b.iter(|| black_box(tables::t6::run(black_box(&prepared))))
+    group.bench("table6_cache_size", || {
+        black_box(tables::t6::run(black_box(&prepared)))
     });
-    group.bench_function("table7_block_size", |b| {
-        b.iter(|| black_box(tables::t7::run(black_box(&prepared))))
+    group.bench("table7_block_size", || {
+        black_box(tables::t7::run(black_box(&prepared)))
     });
-    group.bench_function("table8_fill_policy", |b| {
-        b.iter(|| black_box(tables::t8::run(black_box(&prepared))))
+    group.bench("table8_fill_policy", || {
+        black_box(tables::t8::run(black_box(&prepared)))
     });
-    group.finish();
 
     // Table 9 re-runs the pipeline 4x per benchmark; bench it on a single
     // benchmark to keep wall time sane.
     let one = &prepared[..1];
-    let mut heavy = c.benchmark_group("tables_heavy");
-    heavy.sample_size(10);
-    heavy.bench_function("table9_code_scaling_cccp", |b| {
-        b.iter(|| black_box(tables::t9::run(black_box(one))))
+    let heavy = Harness::new("tables_heavy", 500);
+    heavy.bench("table9_code_scaling_cccp", || {
+        black_box(tables::t9::run(black_box(one)))
     });
-    heavy.bench_function("ablation_ladder_cccp", |b| {
-        b.iter(|| black_box(tables::ablation::run(black_box(one))))
+    heavy.bench("ablation_ladder_cccp", || {
+        black_box(tables::ablation::run(black_box(one)))
     });
-    heavy.finish();
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

@@ -27,8 +27,7 @@ pub fn bench_budget() -> Budget {
 /// Panics if `name` is not one of the paper's ten benchmarks.
 #[must_use]
 pub fn prepared(name: &str) -> Prepared {
-    let w = impact_workloads::by_name(name)
-        .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let w = impact_workloads::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     prepare(&w, &bench_budget())
 }
 

@@ -3,12 +3,10 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::WORD_BYTES;
 
 /// Set associativity of a cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Associativity {
     /// One way per set (the organization the paper advocates).
     Direct,
@@ -20,7 +18,7 @@ pub enum Associativity {
 }
 
 /// What gets fetched on a miss.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FillPolicy {
     /// Fetch the whole block (§4.2.1).
     FullBlock,
@@ -36,7 +34,7 @@ pub enum FillPolicy {
 }
 
 /// Which resident block a fill evicts (within a set).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Replacement {
     /// Least recently used (the policy of Smith's studies and the
     /// paper's comparisons).
@@ -49,7 +47,7 @@ pub enum Replacement {
 }
 
 /// Full description of a simulated instruction cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total data store size in bytes (power of two).
     pub size_bytes: u64,
@@ -189,7 +187,10 @@ impl CacheConfig {
         }
         if self.block_bytes > 256 {
             return Err(ConfigError::BadGeometry {
-                detail: format!("block {} exceeds the 256-byte simulator limit", self.block_bytes),
+                detail: format!(
+                    "block {} exceeds the 256-byte simulator limit",
+                    self.block_bytes
+                ),
             });
         }
         if self.block_bytes > self.size_bytes {
@@ -216,10 +217,7 @@ impl CacheConfig {
             pow2("sector_bytes", sector_bytes)?;
             if sector_bytes < WORD_BYTES || sector_bytes > self.block_bytes {
                 return Err(ConfigError::BadGeometry {
-                    detail: format!(
-                        "sector {} misfits block {}",
-                        sector_bytes, self.block_bytes
-                    ),
+                    detail: format!("sector {} misfits block {}", sector_bytes, self.block_bytes),
                 });
             }
         }
@@ -271,7 +269,10 @@ mod tests {
         let c = CacheConfig::direct_mapped(3000, 64);
         assert!(matches!(
             c.validate(),
-            Err(ConfigError::NotPowerOfTwo { field: "size_bytes", .. })
+            Err(ConfigError::NotPowerOfTwo {
+                field: "size_bytes",
+                ..
+            })
         ));
     }
 
@@ -283,13 +284,11 @@ mod tests {
 
     #[test]
     fn rejects_misfit_sector() {
-        let c = CacheConfig::direct_mapped(2048, 64).with_fill(FillPolicy::Sectored {
-            sector_bytes: 128,
-        });
+        let c = CacheConfig::direct_mapped(2048, 64)
+            .with_fill(FillPolicy::Sectored { sector_bytes: 128 });
         assert!(matches!(c.validate(), Err(ConfigError::BadGeometry { .. })));
-        let ok = CacheConfig::direct_mapped(2048, 64).with_fill(FillPolicy::Sectored {
-            sector_bytes: 8,
-        });
+        let ok = CacheConfig::direct_mapped(2048, 64)
+            .with_fill(FillPolicy::Sectored { sector_bytes: 8 });
         ok.validate().unwrap();
     }
 

@@ -8,14 +8,12 @@
 //! combined [`TwoLevel::amat`] (average memory access time) quantifies
 //! the end-to-end benefit of placement across the hierarchy.
 
-use serde::{Deserialize, Serialize};
-
 use crate::sim::{AccessSink, Cache};
 use crate::stats::CacheStats;
 use crate::WORD_BYTES;
 
 /// Latency parameters for [`TwoLevel::amat`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyLatency {
     /// Cycles for an L1 hit.
     pub l1_hit: u64,
@@ -109,8 +107,7 @@ impl TwoLevel {
         let l2 = self.l2.stats();
         let m1 = l1.miss_ratio();
         let m2 = l2.miss_ratio();
-        latency.l1_hit as f64
-            + m1 * (latency.l2_hit as f64 + m2 * latency.memory as f64)
+        latency.l1_hit as f64 + m1 * (latency.l2_hit as f64 + m2 * latency.memory as f64)
     }
 
     /// Decomposes into the two caches.

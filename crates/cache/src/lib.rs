@@ -43,20 +43,20 @@ mod multi;
 pub mod opt;
 pub mod paging;
 mod prefetch;
-mod victim;
 mod sim;
 pub mod smith;
 mod stats;
 mod timing;
+mod victim;
 
 pub use config::{Associativity, CacheConfig, ConfigError, FillPolicy, Replacement};
 pub use hierarchy::{HierarchyLatency, TwoLevel};
 pub use multi::CacheBank;
 pub use prefetch::NextLinePrefetcher;
-pub use victim::VictimCache;
 pub use sim::{AccessSink, Cache};
 pub use stats::CacheStats;
 pub use timing::{TimingConfig, TimingModel};
+pub use victim::VictimCache;
 
 /// Bytes per bus word and per instruction fetch.
 pub const WORD_BYTES: u64 = 4;

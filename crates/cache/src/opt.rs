@@ -147,7 +147,11 @@ mod tests {
     fn opt_never_exceeds_lru() {
         // Pseudo-random traces across several geometries.
         let trace: Vec<u64> = (0..5000u64).map(|i| (i * 2654435761 % 512) * 4).collect();
-        for assoc in [Associativity::Direct, Associativity::Ways(2), Associativity::Full] {
+        for assoc in [
+            Associativity::Direct,
+            Associativity::Ways(2),
+            Associativity::Full,
+        ] {
             let config = CacheConfig::direct_mapped(512, 32).with_associativity(assoc);
             let opt = simulate_opt(&trace, config);
             let lru = lru_misses(&trace, config);
@@ -165,7 +169,10 @@ mod tests {
         // and LRU coincide exactly.
         let trace: Vec<u64> = (0..3000u64).map(|i| (i * 7919 % 300) * 4).collect();
         let config = CacheConfig::direct_mapped(1024, 64);
-        assert_eq!(simulate_opt(&trace, config).misses, lru_misses(&trace, config));
+        assert_eq!(
+            simulate_opt(&trace, config).misses,
+            lru_misses(&trace, config)
+        );
     }
 
     #[test]

@@ -13,13 +13,11 @@
 //!   touched sector of a faulting page),
 //! * [`WorkingSetTracker`] — Denning working-set size over a window.
 
-use serde::{Deserialize, Serialize};
-
 use crate::sim::AccessSink;
 use crate::WORD_BYTES;
 
 /// Configuration of a paged instruction memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageConfig {
     /// Page size in bytes (power of two).
     pub page_bytes: u64,
@@ -55,7 +53,7 @@ impl PageConfig {
 }
 
 /// Counters of a paging simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PagingStats {
     /// Instruction fetches observed.
     pub accesses: u64,
@@ -277,11 +275,7 @@ impl WorkingSetTracker {
 
     fn sample(&mut self) {
         let horizon = self.clock.saturating_sub(self.window);
-        let ws = self
-            .last_access
-            .values()
-            .filter(|&&t| t > horizon)
-            .count() as u64;
+        let ws = self.last_access.values().filter(|&&t| t > horizon).count() as u64;
         self.samples += 1;
         self.sample_sum += ws;
         self.peak = self.peak.max(ws);
@@ -356,8 +350,8 @@ mod tests {
         let s = sim.stats();
         assert_eq!(s.faults, 1);
         assert_eq!(s.words_transferred, 16); // one 64-byte sector
-        // Touch a second sector of the same page: no page fault, one
-        // sector transfer.
+                                             // Touch a second sector of the same page: no page fault, one
+                                             // sector transfer.
         sim.access(128);
         let s = sim.stats();
         assert_eq!(s.faults, 1);

@@ -135,12 +135,7 @@ impl Cache {
                 return (false, 0);
             }
             // Word miss on a resident block (sectored / partial fills).
-            let fetched = Self::fill(
-                way,
-                self.config.fill,
-                word_in_block,
-                self.words_per_block,
-            );
+            let fetched = Self::fill(way, self.config.fill, word_in_block, self.words_per_block);
             return (true, fetched);
         }
 
@@ -324,9 +319,8 @@ mod tests {
 
     #[test]
     fn sectored_fill_fetches_one_sector() {
-        let cfg = CacheConfig::direct_mapped(1024, 64).with_fill(FillPolicy::Sectored {
-            sector_bytes: 8,
-        });
+        let cfg = CacheConfig::direct_mapped(1024, 64)
+            .with_fill(FillPolicy::Sectored { sector_bytes: 8 });
         let mut c = Cache::new(cfg);
         c.access(0); // sector 0 (words 0-1)
         let s = c.stats();
@@ -406,8 +400,7 @@ mod tests {
     fn fifo_ignores_hits_when_choosing_victims() {
         // 2-way set: insert A, B; re-touch A (refreshing LRU but not
         // FIFO); insert C. LRU evicts B, FIFO evicts A.
-        let base = CacheConfig::direct_mapped(128, 64)
-            .with_associativity(Associativity::Ways(2));
+        let base = CacheConfig::direct_mapped(128, 64).with_associativity(Associativity::Ways(2));
         let run = |cfg: CacheConfig| {
             let mut c = Cache::new(cfg);
             c.access(0); // A
@@ -453,7 +446,10 @@ mod tests {
             c.stats()
         };
         assert_eq!(run(crate::Replacement::Lru), run(crate::Replacement::Fifo));
-        assert_eq!(run(crate::Replacement::Lru), run(crate::Replacement::Random));
+        assert_eq!(
+            run(crate::Replacement::Lru),
+            run(crate::Replacement::Random)
+        );
     }
 
     #[test]

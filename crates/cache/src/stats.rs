@@ -1,10 +1,8 @@
 //! Simulation statistics and derived ratios.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated by a cache simulation, plus the derived ratios the
 /// paper reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Instruction fetches observed.
     pub accesses: u64,

@@ -16,14 +16,12 @@
 //! the trade-off the paper describes (bigger blocks: lower miss ratio but
 //! longer repairs) can be measured, not just asserted.
 
-use serde::{Deserialize, Serialize};
-
 use crate::sim::{AccessSink, Cache};
 use crate::stats::CacheStats;
 use crate::WORD_BYTES;
 
 /// Memory-system timing parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimingConfig {
     /// Cycles from miss detection to the first word's arrival.
     pub initial_latency: u64,
@@ -190,7 +188,7 @@ mod tests {
     fn without_forwarding_mid_block_miss_waits_for_preceding_words() {
         let mut m = model(true, false);
         m.access(32); // word 8 of a 16-word block
-        // 1 + 4 + 9 (words 0..=8 delivered in order).
+                      // 1 + 4 + 9 (words 0..=8 delivered in order).
         assert_eq!(m.cycles(), 14);
     }
 
@@ -200,7 +198,7 @@ mod tests {
         m.access(0); // miss: 15 words still streaming in
         let c = m.cycles();
         m.access(512); // taken branch into another (missing) block
-        // Stalled until fill_done (c + 15), then 1 + 4 + 1 for the new miss.
+                       // Stalled until fill_done (c + 15), then 1 + 4 + 1 for the new miss.
         assert_eq!(m.cycles(), c + 15 + 6);
     }
 
@@ -222,9 +220,7 @@ mod tests {
 
     #[test]
     fn partial_fill_resumes_immediately() {
-        let cache = Cache::new(
-            CacheConfig::direct_mapped(2048, 64).with_fill(FillPolicy::Partial),
-        );
+        let cache = Cache::new(CacheConfig::direct_mapped(2048, 64).with_fill(FillPolicy::Partial));
         let mut m = TimingModel::new(cache, TimingConfig::default());
         m.access(32); // partial: fetch starts at the missed word
         assert_eq!(m.cycles(), 6);

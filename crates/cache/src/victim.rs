@@ -210,7 +210,7 @@ mod tests {
         c.access(1024); // evicts 0
         c.access(2048); // evicts 16
         c.access(3072); // evicts 32 -> buffer [16? no: [0,16] -> push 32 drops 0
-        // Re-access 0: must be a memory miss (dropped from buffer).
+                        // Re-access 0: must be a memory miss (dropped from buffer).
         let before = c.stats().words_fetched;
         c.access(0);
         assert!(c.stats().words_fetched > before);

@@ -45,9 +45,10 @@ fn main() {
                     .with_limits(limits)
                     .run(w.eval_seed() + off, |_| n_orig += 1);
                 let mut n_opt = 0u64;
-                let s_opt = TraceGenerator::new(&prepared.result.program, &prepared.result.placement)
-                    .with_limits(limits)
-                    .run(w.eval_seed() + off, |_| n_opt += 1);
+                let s_opt =
+                    TraceGenerator::new(&prepared.result.program, &prepared.result.placement)
+                        .with_limits(limits)
+                        .run(w.eval_seed() + off, |_| n_opt += 1);
                 format!(
                     "{}/{}",
                     fmt_len(n_orig, s_orig.truncated),

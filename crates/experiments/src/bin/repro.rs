@@ -54,7 +54,11 @@ fn main() -> ExitCode {
     selected.sort_unstable();
     selected.dedup();
 
-    let budget = if fast { Budget::fast() } else { Budget::default() };
+    let budget = if fast {
+        Budget::fast()
+    } else {
+        Budget::default()
+    };
     eprintln!(
         "preparing {} benchmarks ({} budget)...",
         if extended { 18 } else { 10 },
@@ -102,8 +106,8 @@ fn main() -> ExitCode {
 
 /// Runs table `n`, returning `(rendered text, rows as JSON)`.
 fn run_table(n: u8, prepared: &[Prepared]) -> (String, String) {
-    fn pack<R: serde::Serialize>(text: String, rows: &[R]) -> (String, String) {
-        let json = serde_json::to_string_pretty(rows).expect("rows serialize");
+    fn pack<R: impact_support::ToJson>(text: String, rows: &[R]) -> (String, String) {
+        let json = impact_support::json::rows_to_json_pretty(rows);
         (text, json)
     }
     match n {

@@ -36,7 +36,6 @@ use impact_cache::CacheConfig;
 use impact_ir::{Program, Terminator, BYTES_PER_INSTR};
 use impact_layout::Placement;
 use impact_profile::Profile;
-use serde::{Deserialize, Serialize};
 
 /// Per-cache-line *entry weights*: for every line (index `addr / block`),
 /// the expected number of times the fetch stream enters it per profiled
@@ -104,7 +103,7 @@ pub fn line_entry_weights(
 }
 
 /// The estimator's output.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MissEstimate {
     /// Estimated cold (first-touch) misses.
     pub cold_misses: f64,
@@ -115,6 +114,13 @@ pub struct MissEstimate {
     /// Predicted miss ratio.
     pub miss_ratio: f64,
 }
+
+impact_support::json_object!(MissEstimate {
+    cold_misses,
+    conflict_misses,
+    accesses,
+    miss_ratio
+});
 
 /// Predicts the miss ratio of a direct-mapped cache for `program` placed
 /// by `placement`, using only `profile` (no trace).
@@ -166,7 +172,11 @@ pub fn estimate_direct_mapped(
         cold_misses: cold,
         conflict_misses: conflict,
         accesses,
-        miss_ratio: if accesses > 0.0 { misses / accesses } else { 0.0 },
+        miss_ratio: if accesses > 0.0 {
+            misses / accesses
+        } else {
+            0.0
+        },
     }
 }
 

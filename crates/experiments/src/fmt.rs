@@ -89,9 +89,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "ragged table row")]
     fn ragged_rows_panic() {
-        let _ = render_table(
-            &["a".to_owned(), "b".to_owned()],
-            &[vec!["x".to_owned()]],
-        );
+        let _ = render_table(&["a".to_owned(), "b".to_owned()], &[vec!["x".to_owned()]]);
     }
 }

@@ -12,8 +12,7 @@ use impact_workloads::Workload;
 /// The default budget runs each benchmark at its spec'd dynamic length.
 /// [`Budget::fast`] caps walks for quick smoke runs (CI, debug builds) —
 /// ratios converge long before the full trace lengths.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Budget {
     /// Cap on dynamic instructions per profiling run (`None` = use the
     /// workload's own cap).
@@ -22,7 +21,6 @@ pub struct Budget {
     /// the workload's own cap).
     pub eval_instrs: Option<u64>,
 }
-
 
 impl Budget {
     /// A reduced budget for smoke tests and debug builds.
@@ -138,6 +136,7 @@ pub fn prepare_all_extended(budget: &Budget) -> Vec<Prepared> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

@@ -11,11 +11,12 @@
 //! plus a fully-associative LRU cache over the natural layout (the
 //! hardware-heavy alternative the paper argues against).
 
-use impact_cache::{AccessSink, Associativity, Cache, CacheConfig, NextLinePrefetcher, VictimCache};
-use impact_trace::TraceGenerator;
+use impact_cache::{
+    AccessSink, Associativity, Cache, CacheConfig, NextLinePrefetcher, VictimCache,
+};
 use impact_layout::baseline;
 use impact_layout::pipeline::{Pipeline, PipelineConfig};
-use serde::{Deserialize, Serialize};
+use impact_trace::TraceGenerator;
 
 use crate::fmt;
 use crate::prepare::{pipeline_config, Prepared};
@@ -27,7 +28,7 @@ pub const CACHE_BYTES: u64 = 2048;
 pub const BLOCK_BYTES: u64 = 64;
 
 /// One benchmark's miss ratios across the placement ladder.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Benchmark name.
     pub name: String,
@@ -48,6 +49,18 @@ pub struct Row {
     /// Natural layout with a 4-entry victim buffer (memory misses).
     pub natural_victim: f64,
 }
+
+impact_support::json_object!(Row {
+    name,
+    random,
+    natural,
+    natural_fully_assoc,
+    no_inline,
+    full,
+    pettis_hansen,
+    natural_prefetch,
+    natural_victim
+});
 
 /// Runs the ablation ladder.
 #[must_use]
@@ -74,16 +87,9 @@ pub fn run(prepared: &[Prepared]) -> Vec<Row> {
             let ni = Pipeline::new(no_inline_cfg).run(program);
             let no_inline = sim::simulate(&ni.program, &ni.placement, seed, limits, &dm)[0];
 
-            let full = sim::simulate(
-                &p.result.program,
-                &p.result.placement,
-                seed,
-                limits,
-                &dm,
-            )[0];
+            let full = sim::simulate(&p.result.program, &p.result.placement, seed, limits, &dm)[0];
 
-            let ph_placement =
-                impact_layout::ph::place(&p.result.program, &p.result.profile);
+            let ph_placement = impact_layout::ph::place(&p.result.program, &p.result.profile);
             let ph = sim::simulate(&p.result.program, &ph_placement, seed, limits, &dm)[0];
 
             // The hardware alternatives, applied to the unoptimized

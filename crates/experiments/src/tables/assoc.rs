@@ -9,7 +9,6 @@
 //! vs. increasing degrees of associativity without it.
 
 use impact_cache::{Associativity, CacheConfig, CacheStats};
-use serde::{Deserialize, Serialize};
 
 use crate::fmt;
 use crate::prepare::Prepared;
@@ -30,7 +29,7 @@ pub const WAYS: [Associativity; 5] = [
 ];
 
 /// One benchmark's miss ratios across associativities, for both layouts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Benchmark name.
     pub name: String,
@@ -39,6 +38,12 @@ pub struct Row {
     /// Optimized-layout miss ratio per entry of [`WAYS`].
     pub optimized: Vec<f64>,
 }
+
+impact_support::json_object!(Row {
+    name,
+    natural,
+    optimized
+});
 
 /// Sweeps both layouts across the associativity ladder.
 #[must_use]
@@ -104,7 +109,9 @@ pub fn render(rows: &[Row]) -> String {
         avg.push(fmt::pct(rows.iter().map(|r| r.natural[i]).sum::<f64>() / n));
     }
     for i in 0..WAYS.len() {
-        avg.push(fmt::pct(rows.iter().map(|r| r.optimized[i]).sum::<f64>() / n));
+        avg.push(fmt::pct(
+            rows.iter().map(|r| r.optimized[i]).sum::<f64>() / n,
+        ));
     }
     table.push(avg);
     format!(

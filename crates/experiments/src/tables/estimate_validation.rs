@@ -9,7 +9,6 @@
 //! paper hoped to use such an estimator.
 
 use impact_cache::CacheConfig;
-use serde::{Deserialize, Serialize};
 
 use crate::estimate::estimate_direct_mapped;
 use crate::fmt;
@@ -20,13 +19,15 @@ use crate::sim;
 pub const CACHE_SIZES: [u64; 3] = [512, 2048, 8192];
 
 /// One benchmark's predicted/simulated pairs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Benchmark name.
     pub name: String,
     /// `(predicted, simulated)` miss ratios per entry of [`CACHE_SIZES`].
     pub cells: Vec<(f64, f64)>,
 }
+
+impact_support::json_object!(Row { name, cells });
 
 /// Runs prediction and simulation for every benchmark.
 #[must_use]

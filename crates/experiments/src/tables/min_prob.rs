@@ -9,7 +9,6 @@
 
 use impact_cache::CacheConfig;
 use impact_layout::pipeline::{Pipeline, PipelineConfig};
-use serde::{Deserialize, Serialize};
 
 use crate::fmt;
 use crate::prepare::{pipeline_config, Prepared};
@@ -19,7 +18,7 @@ use crate::sim;
 pub const THRESHOLDS: [f64; 5] = [0.5, 0.6, 0.7, 0.8, 0.9];
 
 /// Ten-benchmark averages at one threshold.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// The `MIN_PROB` value.
     pub min_prob: f64,
@@ -32,6 +31,14 @@ pub struct Row {
     /// Mean traffic ratio at 2 KB / 64 B.
     pub traffic_2k: f64,
 }
+
+impact_support::json_object!(Row {
+    min_prob,
+    desirable,
+    trace_length,
+    miss_2k,
+    traffic_2k
+});
 
 /// Re-runs the pipeline per threshold over all benchmarks.
 #[must_use]
@@ -90,7 +97,15 @@ pub fn render(rows: &[Row]) -> String {
         .iter()
         .map(|r| {
             vec![
-                format!("{}{}", r.min_prob, if (r.min_prob - 0.7).abs() < 1e-9 { " (paper)" } else { "" }),
+                format!(
+                    "{}{}",
+                    r.min_prob,
+                    if (r.min_prob - 0.7).abs() < 1e-9 {
+                        " (paper)"
+                    } else {
+                        ""
+                    }
+                ),
                 fmt::pct(r.desirable),
                 format!("{:.2}", r.trace_length),
                 fmt::pct(r.miss_2k),

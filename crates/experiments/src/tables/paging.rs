@@ -14,7 +14,6 @@ use impact_cache::AccessSink;
 use impact_ir::Program;
 use impact_layout::Placement;
 use impact_trace::TraceGenerator;
-use serde::{Deserialize, Serialize};
 
 use crate::fmt;
 use crate::prepare::Prepared;
@@ -29,7 +28,7 @@ pub const SECTOR_BYTES: u64 = 128;
 pub const WS_WINDOW: u64 = 100_000;
 
 /// One benchmark's paging behavior under both layouts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Benchmark name.
     pub name: String,
@@ -46,6 +45,16 @@ pub struct Row {
     /// Paging traffic ratio with 128-byte page sectoring (optimized).
     pub sectored_traffic: f64,
 }
+
+impact_support::json_object!(Row {
+    name,
+    natural_fault_ratio,
+    optimized_fault_ratio,
+    natural_ws_pages,
+    optimized_ws_pages,
+    full_traffic,
+    sectored_traffic
+});
 
 /// All three measurements in one trace pass per layout.
 fn measure(
@@ -86,12 +95,8 @@ pub fn run(prepared: &[Prepared]) -> Vec<Row> {
         .iter()
         .map(|p| {
             let limits = p.budget.eval_limits(&p.workload);
-            let (nat_fault, nat_ws, _, _) = measure(
-                &p.baseline_program,
-                &p.baseline,
-                p.eval_seed(),
-                limits,
-            );
+            let (nat_fault, nat_ws, _, _) =
+                measure(&p.baseline_program, &p.baseline, p.eval_seed(), limits);
             let (opt_fault, opt_ws, full_traffic, sectored_traffic) = measure(
                 &p.result.program,
                 &p.result.placement,
@@ -158,10 +163,7 @@ mod tests {
         let rows = run(std::slice::from_ref(&p));
         let r = &rows[0];
         // lex's hot set packs into fewer pages after placement.
-        assert!(
-            r.optimized_ws_pages <= r.natural_ws_pages + 0.5,
-            "{r:?}"
-        );
+        assert!(r.optimized_ws_pages <= r.natural_ws_pages + 0.5, "{r:?}");
         assert!(r.sectored_traffic <= r.full_traffic + 1e-9, "{r:?}");
         assert!(render(&rows).contains("Paging"));
     }

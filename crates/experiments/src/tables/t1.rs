@@ -9,14 +9,13 @@
 //! numbers (Tables 6–7) beat this column.
 
 use impact_cache::{smith, CacheConfig, CacheStats};
-use serde::{Deserialize, Serialize};
 
 use crate::fmt;
 use crate::prepare::Prepared;
 use crate::sim;
 
 /// One `(cache size, block size)` cell.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Row {
     /// Cache size in bytes.
     pub cache_size: u64,
@@ -28,6 +27,13 @@ pub struct Row {
     /// averaged over the benchmarks.
     pub measured_unoptimized: f64,
 }
+
+impact_support::json_object!(Row {
+    cache_size,
+    block_size,
+    smith_target,
+    measured_unoptimized
+});
 
 /// Computes all 16 grid cells.
 #[must_use]

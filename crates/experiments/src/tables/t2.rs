@@ -6,13 +6,11 @@
 //! the static measure is basic-block count; everything else matches the
 //! paper's definitions.
 
-use serde::{Deserialize, Serialize};
-
 use crate::fmt;
 use crate::prepare::Prepared;
 
 /// One benchmark's profile characteristics.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Row {
     /// Benchmark name.
     pub name: String,
@@ -25,6 +23,14 @@ pub struct Row {
     /// Dynamic control transfers other than call/return, over all runs.
     pub control: u64,
 }
+
+impact_support::json_object!(Row {
+    name,
+    blocks,
+    runs,
+    instructions,
+    control
+});
 
 /// Computes one row per prepared benchmark from its pre-inlining profile
 /// (Table 2 describes the original programs).

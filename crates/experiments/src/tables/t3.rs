@@ -1,12 +1,10 @@
 //! Table 3 — inline expansion results.
 
-use serde::{Deserialize, Serialize};
-
 use crate::fmt;
 use crate::prepare::Prepared;
 
 /// One benchmark's inlining outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Benchmark name.
     pub name: String,
@@ -20,6 +18,14 @@ pub struct Row {
     /// Control transfers per remaining call ("CT's per call").
     pub transfers_per_call: f64,
 }
+
+impact_support::json_object!(Row {
+    name,
+    code_increase,
+    call_decrease,
+    instrs_per_call,
+    transfers_per_call
+});
 
 /// Extracts one row per prepared benchmark.
 #[must_use]
@@ -42,9 +48,15 @@ pub fn run(prepared: &[Prepared]) -> Vec<Row> {
 /// Renders the table.
 #[must_use]
 pub fn render(rows: &[Row]) -> String {
-    let header = ["name", "code inc", "call dec", "DI's per call", "CT's per call"]
-        .map(str::to_owned)
-        .to_vec();
+    let header = [
+        "name",
+        "code inc",
+        "call dec",
+        "DI's per call",
+        "CT's per call",
+    ]
+    .map(str::to_owned)
+    .to_vec();
     let per_call = |x: f64| {
         if x.is_finite() {
             format!("{x:.0}")

@@ -1,12 +1,10 @@
 //! Table 4 — trace selection results.
 
-use serde::{Deserialize, Serialize};
-
 use crate::fmt;
 use crate::prepare::Prepared;
 
 /// One benchmark's trace-quality statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Benchmark name.
     pub name: String,
@@ -19,6 +17,14 @@ pub struct Row {
     /// Mean basic blocks per trace.
     pub trace_length: f64,
 }
+
+impact_support::json_object!(Row {
+    name,
+    neutral,
+    undesirable,
+    desirable,
+    trace_length
+});
 
 /// Extracts one row per prepared benchmark.
 #[must_use]
@@ -41,9 +47,15 @@ pub fn run(prepared: &[Prepared]) -> Vec<Row> {
 /// Renders the table.
 #[must_use]
 pub fn render(rows: &[Row]) -> String {
-    let header = ["name", "neutral", "undesirable", "desirable", "trace length"]
-        .map(str::to_owned)
-        .to_vec();
+    let header = [
+        "name",
+        "neutral",
+        "undesirable",
+        "desirable",
+        "trace length",
+    ]
+    .map(str::to_owned)
+    .to_vec();
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

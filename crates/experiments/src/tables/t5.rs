@@ -1,13 +1,11 @@
 //! Table 5 — static and dynamic code sizes.
 
-use serde::{Deserialize, Serialize};
-
 use crate::fmt;
 use crate::prepare::Prepared;
 use crate::sim;
 
 /// One benchmark's size characteristics.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Row {
     /// Benchmark name.
     pub name: String,
@@ -18,6 +16,13 @@ pub struct Row {
     /// Dynamic instruction accesses in the evaluation trace.
     pub dynamic_accesses: u64,
 }
+
+impact_support::json_object!(Row {
+    name,
+    total_static_bytes,
+    effective_static_bytes,
+    dynamic_accesses
+});
 
 /// Computes one row per prepared benchmark (evaluation trace length is
 /// measured with an empty cache bank — one extra pass).

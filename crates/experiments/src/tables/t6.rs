@@ -2,7 +2,6 @@
 //! blocks, optimized placement).
 
 use impact_cache::{CacheConfig, CacheStats};
-use serde::{Deserialize, Serialize};
 
 use crate::fmt;
 use crate::prepare::Prepared;
@@ -15,13 +14,15 @@ pub const CACHE_SIZES: [u64; 5] = [8192, 4096, 2048, 1024, 512];
 pub const BLOCK_BYTES: u64 = 64;
 
 /// One benchmark's miss/traffic across cache sizes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Benchmark name.
     pub name: String,
     /// `(miss ratio, traffic ratio)` per entry of [`CACHE_SIZES`].
     pub cells: Vec<(f64, f64)>,
 }
+
+impact_support::json_object!(Row { name, cells });
 
 /// Simulates every benchmark across all cache sizes in one trace pass
 /// each.

@@ -2,7 +2,6 @@
 //! optimized placement).
 
 use impact_cache::{CacheConfig, CacheStats};
-use serde::{Deserialize, Serialize};
 
 use crate::fmt;
 use crate::prepare::Prepared;
@@ -15,13 +14,15 @@ pub const BLOCK_SIZES: [u64; 4] = [16, 32, 64, 128];
 pub const CACHE_BYTES: u64 = 2048;
 
 /// One benchmark's miss/traffic across block sizes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Benchmark name.
     pub name: String,
     /// `(miss ratio, traffic ratio)` per entry of [`BLOCK_SIZES`].
     pub cells: Vec<(f64, f64)>,
 }
+
+impact_support::json_object!(Row { name, cells });
 
 /// Simulates every benchmark across all block sizes.
 #[must_use]

@@ -2,7 +2,6 @@
 //! 64-byte blocks): 8-byte sectoring vs. partial loading.
 
 use impact_cache::{CacheConfig, FillPolicy};
-use serde::{Deserialize, Serialize};
 
 use crate::fmt;
 use crate::prepare::Prepared;
@@ -16,7 +15,7 @@ pub const BLOCK_BYTES: u64 = 64;
 pub const SECTOR_BYTES: u64 = 8;
 
 /// One benchmark under both traffic-reduction schemes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Benchmark name.
     pub name: String,
@@ -34,6 +33,16 @@ pub struct Row {
     /// point to a taken branch or the next miss ("avg.exec").
     pub avg_exec: f64,
 }
+
+impact_support::json_object!(Row {
+    name,
+    sector_miss,
+    sector_traffic,
+    partial_miss,
+    partial_traffic,
+    avg_fetch,
+    avg_exec
+});
 
 /// Simulates both schemes for every benchmark in one pass each.
 #[must_use]

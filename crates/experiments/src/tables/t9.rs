@@ -9,7 +9,6 @@
 use impact_cache::{CacheConfig, FillPolicy};
 use impact_layout::pipeline::Pipeline;
 use impact_layout::scale::scale_code;
-use serde::{Deserialize, Serialize};
 
 use crate::fmt;
 use crate::prepare::{pipeline_config, Prepared};
@@ -19,13 +18,15 @@ use crate::sim;
 pub const FACTORS: [f64; 4] = [0.5, 0.7, 1.0, 1.1];
 
 /// One benchmark's miss/traffic across scaling factors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Benchmark name.
     pub name: String,
     /// `(miss ratio, traffic ratio)` per entry of [`FACTORS`].
     pub cells: Vec<(f64, f64)>,
 }
+
+impact_support::json_object!(Row { name, cells });
 
 /// Re-runs the pipeline per scaling factor and simulates the partial-
 /// loading configuration.

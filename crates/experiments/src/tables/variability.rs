@@ -9,7 +9,6 @@
 //! matter?".
 
 use impact_cache::CacheConfig;
-use serde::{Deserialize, Serialize};
 
 use crate::fmt;
 use crate::prepare::Prepared;
@@ -24,7 +23,7 @@ pub const CACHE_BYTES: u64 = 2048;
 pub const BLOCK_BYTES: u64 = 64;
 
 /// Miss-ratio spread for one benchmark.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Benchmark name.
     pub name: String,
@@ -39,6 +38,15 @@ pub struct Row {
     /// Largest observed.
     pub max: f64,
 }
+
+impact_support::json_object!(Row {
+    name,
+    miss_ratios,
+    mean,
+    std_dev,
+    min,
+    max
+});
 
 /// Evaluates every benchmark over [`SEEDS`] held-out inputs.
 #[must_use]

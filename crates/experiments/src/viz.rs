@@ -189,10 +189,7 @@ mod tests {
         for w in spans.windows(2) {
             assert_eq!(w[0].end, w[1].start, "spans must tile without gaps");
         }
-        assert_eq!(
-            spans.last().unwrap().end,
-            p.result.placement.total_bytes()
-        );
+        assert_eq!(spans.last().unwrap().end, p.result.placement.total_bytes());
         // Hot spans precede cold spans.
         let first_cold = spans.iter().position(|s| !s.effective).unwrap();
         assert!(spans[first_cold..].iter().all(|s| !s.effective));

@@ -1,7 +1,5 @@
 //! Basic blocks, terminators, and the stochastic branch-behavior model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{BlockId, FuncId, Instr, BYTES_PER_INSTR};
 
 /// Probability model for a two-way branch.
@@ -18,7 +16,7 @@ use crate::{BlockId, FuncId, Instr, BYTES_PER_INSTR};
 ///   result is clamped into `[0, 1]`.
 ///
 /// `input_spread = 0` gives input-independent behavior.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BranchBias {
     /// Nominal probability that the branch is taken.
     pub base: f64,
@@ -109,7 +107,7 @@ fn splitmix64(mut z: u64) -> u64 {
 /// ending in an explicit control instruction, so block sizes are invariant
 /// under re-layout. [`Terminator::Exit`] is the exception — it models the
 /// process exit system call and also occupies one slot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Terminator {
     /// Unconditional transfer to another block of the same function.
     Jump {
@@ -208,7 +206,7 @@ impl Terminator {
 }
 
 /// A basic block: straight-line instructions plus one [`Terminator`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BasicBlock {
     body: Vec<Instr>,
     term: Terminator,

@@ -1,11 +1,9 @@
 //! Static call graph extraction.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{BlockId, FuncId, Program, Terminator};
 
 /// One static call site: block `block` of function `caller` calls `callee`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CallSite {
     /// The calling function.
     pub caller: FuncId,
@@ -20,7 +18,7 @@ pub struct CallSite {
 ///
 /// The *weighted* call graph of the paper is this structure joined with
 /// per-site execution counts from `impact-profile`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CallGraph {
     sites: Vec<CallSite>,
     /// Per-caller index ranges into `sites` (sites are sorted by caller).

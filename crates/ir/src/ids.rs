@@ -2,13 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a function within a [`Program`](crate::Program).
 ///
 /// A `FuncId` is a dense index: the `i`-th function added to a
 /// [`ProgramBuilder`](crate::ProgramBuilder) receives id `i`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FuncId(u32);
 
 /// Identifies a basic block within a [`Function`](crate::Function).
@@ -16,7 +14,7 @@ pub struct FuncId(u32);
 /// Block ids are local to their function: block `0` of one function is
 /// unrelated to block `0` of another. Like [`FuncId`], they are dense
 /// indices in builder insertion order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockId(u32);
 
 impl FuncId {

@@ -1,7 +1,5 @@
 //! Fixed-width instructions.
 
-use serde::{Deserialize, Serialize};
-
 /// Size of every instruction in bytes.
 ///
 /// The paper evaluates code "very closely match\[ing\] the physical code of a
@@ -16,8 +14,7 @@ pub const BYTES_PER_INSTR: u64 = 4;
 /// models legible and to let workload generators mimic realistic opcode
 /// mixes. Control transfers are never `Instr`s — they are the block's
 /// [`Terminator`](crate::Terminator).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Instr {
     /// Integer ALU operation (add, shift, compare, ...).
     #[default]
@@ -39,7 +36,6 @@ impl Instr {
         matches!(self, Instr::Load | Instr::Store)
     }
 }
-
 
 #[cfg(test)]
 mod tests {

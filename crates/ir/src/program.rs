@@ -1,11 +1,9 @@
 //! Functions and whole programs.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{BasicBlock, BlockId, CallGraph, FuncId, Terminator, ValidateError};
 
 /// A function: a control-flow graph of basic blocks with one entry block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     pub(crate) name: String,
     pub(crate) blocks: Vec<BasicBlock>,
@@ -119,7 +117,7 @@ impl Function {
 /// consistent, validated structure.
 ///
 /// [`ProgramBuilder`]: crate::ProgramBuilder
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     pub(crate) funcs: Vec<Function>,
     pub(crate) entry: FuncId,
@@ -315,7 +313,10 @@ mod tests {
         main.set_entry(entry);
         main.terminate(entry, Terminator::jump(call));
         main.terminate(call, Terminator::call(helper_id, check));
-        main.terminate(check, Terminator::branch(call, exit, BranchBias::fixed(0.8)));
+        main.terminate(
+            check,
+            Terminator::branch(call, exit, BranchBias::fixed(0.8)),
+        );
         main.terminate(exit, Terminator::Exit);
         let main_id = main.finish();
 

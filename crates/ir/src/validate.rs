@@ -85,7 +85,10 @@ impl fmt::Display for ValidateError {
                 write!(f, "entry function {entry} is out of range")
             }
             ValidateError::UndefinedFunction { func, name } => {
-                write!(f, "function {func} ({name:?}) was reserved but never defined")
+                write!(
+                    f,
+                    "function {func} ({name:?}) was reserved but never defined"
+                )
             }
             ValidateError::EmptyFunctionName { func } => {
                 write!(f, "function {func} has an empty name")

@@ -12,9 +12,7 @@
 //!   much placement can matter.
 
 use impact_ir::{BlockId, FuncId, Program};
-use rand::seq::SliceRandom;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use impact_support::Rng;
 
 use crate::placement::Placement;
 
@@ -34,14 +32,14 @@ pub fn natural(program: &Program) -> Placement {
 /// order inside every function (each function still contiguous).
 #[must_use]
 pub fn random(program: &Program, seed: u64) -> Placement {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x51ce_5ab1_e000_0001);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x51ce_5ab1_e000_0001);
     let mut func_order: Vec<FuncId> = program.function_ids().collect();
-    func_order.shuffle(&mut rng);
+    rng.shuffle(&mut func_order);
     let block_orders: Vec<Vec<BlockId>> = program
         .functions()
         .map(|(_, f)| {
             let mut order: Vec<BlockId> = f.block_ids().collect();
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             order
         })
         .collect();
@@ -49,6 +47,7 @@ pub fn random(program: &Program, seed: u64) -> Placement {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use impact_ir::{ProgramBuilder, Terminator};
 

@@ -46,7 +46,8 @@ impl FunctionLayout {
         let n_traces = traces.trace_count();
 
         let trace_weight = |t: usize| -> u64 {
-            traces.trace(t)
+            traces
+                .trace(t)
                 .iter()
                 .map(|b| fp.block_counts[b.index()])
                 .sum()
@@ -173,8 +174,14 @@ mod tests {
         let dead = f.block_n(6);
         f.terminate(entry, Terminator::branch(hot, cold, BranchBias::fixed(0.9)));
         f.terminate(hot, Terminator::jump(latch));
-        f.terminate(cold, Terminator::branch(dead, latch, BranchBias::fixed(0.0)));
-        f.terminate(latch, Terminator::branch(entry, exit, BranchBias::fixed(0.85)));
+        f.terminate(
+            cold,
+            Terminator::branch(dead, latch, BranchBias::fixed(0.0)),
+        );
+        f.terminate(
+            latch,
+            Terminator::branch(entry, exit, BranchBias::fixed(0.85)),
+        );
         f.terminate(exit, Terminator::Exit);
         f.terminate(dead, Terminator::jump(latch));
         let id = f.finish();

@@ -8,8 +8,51 @@
 //! so functions executed close in time land close in memory and the cold
 //! code of all functions is banished together.
 
+use std::fmt;
+
 use impact_ir::{CallGraph, FuncId, Program};
 use impact_profile::Profile;
+
+/// Why a caller-supplied function order is not usable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OrderError {
+    /// The order names a function id the program does not have.
+    OutOfRange {
+        /// The offending id.
+        func: FuncId,
+        /// Number of functions in the program.
+        function_count: usize,
+    },
+    /// The order places the same function twice.
+    Duplicate {
+        /// The function placed more than once.
+        func: FuncId,
+    },
+    /// The order never places this function.
+    Missing {
+        /// The function with no position.
+        func: FuncId,
+    },
+}
+
+impl fmt::Display for OrderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OutOfRange {
+                func,
+                function_count,
+            } => write!(
+                f,
+                "order names function {func:?} but the program has only {function_count} functions"
+            ),
+            Self::Duplicate { func } => write!(f, "order places function {func:?} twice"),
+            Self::Missing { func } => write!(f, "order never places function {func:?}"),
+        }
+    }
+}
+
+impl std::error::Error for OrderError {}
 
 /// The global function ordering produced by the weighted DFS.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,15 +144,41 @@ impl GlobalOrder {
     ///
     /// # Panics
     ///
-    /// Panics if `order` is not a permutation of `program`'s functions.
+    /// Panics if `order` is not a permutation of `program`'s functions;
+    /// use [`GlobalOrder::try_from_order`] to get the violation as a
+    /// value instead.
     #[must_use]
     pub fn from_order(program: &Program, order: Vec<FuncId>) -> Self {
-        let result = Self { order };
-        assert!(
-            result.is_permutation_of(program),
-            "order must place every function exactly once"
-        );
-        result
+        match Self::try_from_order(program, order) {
+            Ok(o) => o,
+            Err(e) => panic!("order must place every function exactly once: {e}"),
+        }
+    }
+
+    /// [`GlobalOrder::from_order`] with the permutation check reported as
+    /// a typed error — for orders arriving from outside the crate (files,
+    /// experiment configs) rather than from a layout algorithm.
+    pub fn try_from_order(program: &Program, order: Vec<FuncId>) -> Result<Self, OrderError> {
+        let n = program.function_count();
+        let mut seen = vec![false; n];
+        for &f in &order {
+            if f.index() >= n {
+                return Err(OrderError::OutOfRange {
+                    func: f,
+                    function_count: n,
+                });
+            }
+            if seen[f.index()] {
+                return Err(OrderError::Duplicate { func: f });
+            }
+            seen[f.index()] = true;
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(OrderError::Missing {
+                func: FuncId::new(missing),
+            });
+        }
+        Ok(Self { order })
     }
 
     /// The function placement order.
@@ -275,5 +344,36 @@ mod tests {
             .profile(&p);
         let g = GlobalOrder::compute(&p, &prof);
         assert!(g.is_permutation_of(&p));
+    }
+
+    #[test]
+    fn try_from_order_reports_each_violation() {
+        let (p, _) = program();
+        let n = p.function_count();
+        let good: Vec<FuncId> = p.function_ids().collect();
+        assert!(GlobalOrder::try_from_order(&p, good.clone()).is_ok());
+
+        let mut dup = good.clone();
+        dup[1] = dup[0];
+        assert_eq!(
+            GlobalOrder::try_from_order(&p, dup),
+            Err(OrderError::Duplicate { func: good[0] })
+        );
+
+        let short = good[..n - 1].to_vec();
+        assert_eq!(
+            GlobalOrder::try_from_order(&p, short),
+            Err(OrderError::Missing { func: good[n - 1] })
+        );
+
+        let mut oob = good.clone();
+        oob[0] = FuncId::new(n);
+        assert_eq!(
+            GlobalOrder::try_from_order(&p, oob),
+            Err(OrderError::OutOfRange {
+                func: FuncId::new(n),
+                function_count: n
+            })
+        );
     }
 }

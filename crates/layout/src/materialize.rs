@@ -17,25 +17,96 @@
 //! therefore matches the optimized placement in intra-function order and
 //! function order, but not in the global cold-section extraction.
 
+use std::fmt;
+
 use impact_ir::{BasicBlock, BlockId, FuncId, Function, Program, Terminator};
 
 use crate::function_layout::FunctionLayout;
 use crate::global_layout::GlobalOrder;
+
+/// Why a caller-supplied layout cannot be materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MaterializeError {
+    /// `layouts` is not indexed by function id over all functions.
+    WrongLayoutCount {
+        /// Layouts supplied.
+        got: usize,
+        /// One per function expected.
+        expected: usize,
+    },
+    /// The global order is not a permutation of the program's functions.
+    OrderNotPermutation,
+    /// A function layout does not cover its function's blocks exactly.
+    LayoutNotPermutation {
+        /// The function whose layout is broken.
+        func: FuncId,
+    },
+}
+
+impl fmt::Display for MaterializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WrongLayoutCount { got, expected } => {
+                write!(f, "got {got} function layouts for {expected} functions")
+            }
+            Self::OrderNotPermutation => {
+                write!(f, "global order is not a permutation of the functions")
+            }
+            Self::LayoutNotPermutation { func } => {
+                write!(f, "layout of function {func:?} does not cover its blocks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaterializeError {}
 
 /// Rewrites `program` so declaration order realizes the layout.
 ///
 /// # Panics
 ///
 /// Panics if `layouts` is not indexed by function id over all functions
-/// or any layout is not a permutation of its function.
+/// or any layout is not a permutation of its function; use
+/// [`try_materialize`] to get the violation as a value instead.
 #[must_use]
-pub fn materialize(
+pub fn materialize(program: &Program, global: &GlobalOrder, layouts: &[FunctionLayout]) -> Program {
+    match try_materialize(program, global, layouts) {
+        Ok(p) => p,
+        Err(e) => panic!("cannot materialize layout: {e}"),
+    }
+}
+
+/// [`materialize`] with input checks reported as typed errors — for
+/// orders and layouts arriving from outside the pipeline.
+pub fn try_materialize(
+    program: &Program,
+    global: &GlobalOrder,
+    layouts: &[FunctionLayout],
+) -> Result<Program, MaterializeError> {
+    if layouts.len() != program.function_count() {
+        return Err(MaterializeError::WrongLayoutCount {
+            got: layouts.len(),
+            expected: program.function_count(),
+        });
+    }
+    if !global.is_permutation_of(program) {
+        return Err(MaterializeError::OrderNotPermutation);
+    }
+    for (fid, func) in program.functions() {
+        if !layouts[fid.index()].is_permutation_of(func) {
+            return Err(MaterializeError::LayoutNotPermutation { func: fid });
+        }
+    }
+    Ok(materialize_checked(program, global, layouts))
+}
+
+/// The rewrite proper; inputs already validated.
+fn materialize_checked(
     program: &Program,
     global: &GlobalOrder,
     layouts: &[FunctionLayout],
 ) -> Program {
-    assert_eq!(layouts.len(), program.function_count());
-
     // New function ids follow the global order.
     let mut new_fid = vec![usize::MAX; program.function_count()];
     for (pos, &fid) in global.order().iter().enumerate() {
@@ -45,11 +116,6 @@ pub fn materialize(
     let mut funcs: Vec<Option<Function>> = vec![None; program.function_count()];
     for (fid, func) in program.functions() {
         let layout = &layouts[fid.index()];
-        assert!(
-            layout.is_permutation_of(func),
-            "layout of {} must cover the function",
-            func.name()
-        );
         // New block ids follow the placed order.
         let placed: Vec<BlockId> = layout.placed_blocks().collect();
         let mut new_bid = vec![usize::MAX; func.block_count()];
@@ -206,5 +272,35 @@ mod tests {
                 prev_end = Some(a + func.block(bid).size_bytes());
             }
         }
+    }
+
+    #[test]
+    fn try_materialize_rejects_bad_inputs() {
+        let p = program();
+        let r = run_pipeline(&p);
+        assert!(try_materialize(&p, &r.global, &r.layouts).is_ok());
+
+        // Too few layouts.
+        assert_eq!(
+            try_materialize(&p, &r.global, &r.layouts[..1]),
+            Err(MaterializeError::WrongLayoutCount {
+                got: 1,
+                expected: p.function_count()
+            })
+        );
+
+        // A global order borrowed from a different (smaller) program.
+        let mut pb = ProgramBuilder::new();
+        let mut lone = pb.function("lone");
+        let b0 = lone.block_n(1);
+        lone.terminate(b0, Terminator::Exit);
+        let lone_id = lone.finish();
+        pb.set_entry(lone_id);
+        let small = pb.finish().unwrap();
+        let small_order = GlobalOrder::from_order(&small, vec![small.entry()]);
+        assert_eq!(
+            try_materialize(&p, &small_order, &r.layouts),
+            Err(MaterializeError::OrderNotPermutation)
+        );
     }
 }

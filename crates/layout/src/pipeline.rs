@@ -1,6 +1,8 @@
 //! The five-step IMPACT-I placement pipeline, end to end.
 
-use impact_ir::Program;
+use std::fmt;
+
+use impact_ir::{Program, ValidateError};
 use impact_profile::{ExecLimits, Profile, Profiler};
 
 use crate::function_layout::FunctionLayout;
@@ -37,6 +39,92 @@ impl Default for PipelineConfig {
             limits: ExecLimits::default(),
         }
     }
+}
+
+/// Why a pipeline run could not even start.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// The input program failed structural validation.
+    InvalidProgram(ValidateError),
+    /// The configuration is unusable (e.g. `min_prob` outside `(0, 1]`,
+    /// zero profiling runs, or zero-instruction limits).
+    BadConfig {
+        /// Human-readable explanation of the rejected setting.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::InvalidProgram(e) => write!(f, "invalid input program: {e}"),
+            PipelineError::BadConfig { reason } => write!(f, "bad pipeline config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ValidateError> for PipelineError {
+    fn from(e: ValidateError) -> Self {
+        PipelineError::InvalidProgram(e)
+    }
+}
+
+/// A checkpoint the pipeline exposes to a [`PipelineObserver`] between
+/// steps. Borrowed views — observers inspect, they do not mutate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Checkpoint<'a> {
+    /// After Step 1: the original program has been profiled.
+    Profiled {
+        /// The input program.
+        program: &'a Program,
+        /// Its execution profile.
+        profile: &'a Profile,
+    },
+    /// After Step 2: inline expansion ran (or was skipped) and the
+    /// transformed program has been re-profiled.
+    Inlined {
+        /// The (possibly) inlined program.
+        program: &'a Program,
+        /// Fresh profile of that program.
+        profile: &'a Profile,
+    },
+    /// After Step 3: traces have been selected on the final program.
+    TracesSelected {
+        /// The laid-out program.
+        program: &'a Program,
+        /// Its profile.
+        profile: &'a Profile,
+        /// One trace assignment per function.
+        traces: &'a [TraceAssignment],
+    },
+    /// After Step 5: the full result, just before `run` returns it.
+    Placed {
+        /// The complete pipeline output.
+        result: &'a PipelineResult,
+    },
+}
+
+/// Hook into the pipeline between steps.
+///
+/// The pipeline itself never inspects observer state; this exists so
+/// external tooling (notably the `impact-analyze` checked mode) can lint
+/// intermediate artifacts without the layout crate depending on the
+/// analysis crate.
+pub trait PipelineObserver {
+    /// Called at each [`Checkpoint`], in pipeline order.
+    fn checkpoint(&mut self, checkpoint: &Checkpoint<'_>);
+}
+
+/// Observer that ignores every checkpoint (the default for [`Pipeline::run`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl PipelineObserver for NoopObserver {
+    fn checkpoint(&mut self, _checkpoint: &Checkpoint<'_>) {}
 }
 
 /// Everything the pipeline produced.
@@ -101,6 +189,60 @@ impl Pipeline {
     /// Runs the full pipeline on `program`.
     #[must_use]
     pub fn run(&self, program: &Program) -> PipelineResult {
+        self.run_observed(program, &mut NoopObserver)
+    }
+
+    /// Like [`Pipeline::run`], but validates the input program and the
+    /// configuration first instead of assuming both are well-formed.
+    ///
+    /// Use this on programs that arrive from outside the builder API
+    /// (e.g. parsed from `.impact` assembly) or with user-supplied
+    /// configurations.
+    pub fn try_run(&self, program: &Program) -> Result<PipelineResult, PipelineError> {
+        self.try_run_observed(program, &mut NoopObserver)
+    }
+
+    /// [`Pipeline::try_run`] with an observer called at each
+    /// [`Checkpoint`].
+    pub fn try_run_observed(
+        &self,
+        program: &Program,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<PipelineResult, PipelineError> {
+        self.check_config()?;
+        program.validate()?;
+        Ok(self.run_observed(program, observer))
+    }
+
+    /// Rejects configurations the pipeline cannot meaningfully run with.
+    fn check_config(&self) -> Result<(), PipelineError> {
+        let bad = |reason: String| Err(PipelineError::BadConfig { reason });
+        if !(self.config.min_prob > 0.0 && self.config.min_prob <= 1.0) {
+            return bad(format!(
+                "min_prob must be in (0, 1], got {}",
+                self.config.min_prob
+            ));
+        }
+        if self.config.profile_runs == 0 {
+            return bad("profile_runs must be at least 1".to_string());
+        }
+        if self.config.limits.max_instructions == 0 {
+            return bad("limits.max_instructions must be nonzero".to_string());
+        }
+        if self.config.limits.max_call_depth == 0 {
+            return bad("limits.max_call_depth must be nonzero".to_string());
+        }
+        Ok(())
+    }
+
+    /// Runs the full pipeline on `program`, reporting each
+    /// [`Checkpoint`] to `observer` as it is reached.
+    #[must_use]
+    pub fn run_observed(
+        &self,
+        program: &Program,
+        observer: &mut dyn PipelineObserver,
+    ) -> PipelineResult {
         let profiler = Profiler::new()
             .runs(self.config.profile_runs)
             .base_seed(self.config.profile_base_seed)
@@ -108,6 +250,10 @@ impl Pipeline {
 
         // Step 1: execution profiling.
         let pre_inline_profile = profiler.profile(program);
+        observer.checkpoint(&Checkpoint::Profiled {
+            program,
+            profile: &pre_inline_profile,
+        });
 
         // Step 2: function inline expansion (re-profiling between passes).
         let inlined = match &self.config.inline {
@@ -118,13 +264,21 @@ impl Pipeline {
         // Re-profile the transformed program: layout decisions must see
         // weights for the cloned blocks.
         let profile = profiler.profile(&inlined);
+        observer.checkpoint(&Checkpoint::Inlined {
+            program: &inlined,
+            profile: &profile,
+        });
 
-        let inline_report =
-            InlineReport::measure(program, &pre_inline_profile, &inlined, &profile);
+        let inline_report = InlineReport::measure(program, &pre_inline_profile, &inlined, &profile);
 
         // Step 3: trace selection.
         let selector = TraceSelector::new().min_prob(self.config.min_prob);
         let traces = selector.select_program(&inlined, &profile);
+        observer.checkpoint(&Checkpoint::TracesSelected {
+            program: &inlined,
+            profile: &profile,
+            traces: &traces,
+        });
 
         // Step 4: function layout.
         let layouts: Vec<FunctionLayout> = inlined
@@ -138,7 +292,7 @@ impl Pipeline {
 
         let trace_quality = TraceQuality::measure(&inlined, &profile, &traces);
 
-        PipelineResult {
+        let result = PipelineResult {
             program: inlined,
             pre_inline_profile,
             profile,
@@ -148,11 +302,14 @@ impl Pipeline {
             placement,
             inline_report,
             trace_quality,
-        }
+        };
+        observer.checkpoint(&Checkpoint::Placed { result: &result });
+        result
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use impact_ir::{BranchBias, ProgramBuilder, Terminator};
 

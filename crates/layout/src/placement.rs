@@ -34,11 +34,7 @@ impl Placement {
     /// Panics if `layouts` is not indexed by function id over all of
     /// `program`'s functions.
     #[must_use]
-    pub fn assemble(
-        program: &Program,
-        global: &GlobalOrder,
-        layouts: &[FunctionLayout],
-    ) -> Self {
+    pub fn assemble(program: &Program, global: &GlobalOrder, layouts: &[FunctionLayout]) -> Self {
         assert_eq!(
             layouts.len(),
             program.function_count(),
@@ -118,6 +114,29 @@ impl Placement {
         }
     }
 
+    /// Builds a placement directly from raw per-block addresses, with no
+    /// validation whatsoever.
+    ///
+    /// This exists for tools that need to model *corrupted* placements —
+    /// notably the `impact-analyze` lint tests, which seed deliberate
+    /// violations (overlaps, gaps, misalignment) and assert the verifier
+    /// passes catch them. Production code should use [`Placement::assemble`]
+    /// or [`Placement::contiguous`].
+    #[must_use]
+    pub fn from_raw(
+        block_addr: Vec<Vec<u64>>,
+        func_order: Vec<FuncId>,
+        effective_bytes: u64,
+        total_bytes: u64,
+    ) -> Self {
+        Self {
+            block_addr,
+            func_order,
+            effective_bytes,
+            total_bytes,
+        }
+    }
+
     /// Byte address of block `b` of function `f`.
     ///
     /// # Panics
@@ -130,6 +149,22 @@ impl Placement {
         let a = self.block_addr[f.index()][b.index()];
         assert_ne!(a, u64::MAX, "{f}/{b} was never placed");
         a
+    }
+
+    /// Byte address of block `b` of function `f`, or `None` if the indices
+    /// are out of range or the block was never assigned an address.
+    ///
+    /// Unlike [`Placement::addr`] this never panics, which makes it the
+    /// right accessor for verifiers that must diagnose malformed
+    /// placements instead of crashing on them.
+    #[must_use]
+    pub fn try_addr(&self, f: FuncId, b: BlockId) -> Option<u64> {
+        let a = *self.block_addr.get(f.index())?.get(b.index())?;
+        if a == u64::MAX {
+            None
+        } else {
+            Some(a)
+        }
     }
 
     /// Total placed bytes.
@@ -153,6 +188,11 @@ impl Placement {
     /// Verifies the placement covers `program` exactly: every block
     /// placed, blocks non-overlapping, and the placed bytes gap-free from
     /// address 0 to `total_bytes`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "returns a bare bool; use `impact_analyze::verify_placement` \
+                for diagnostics explaining *why* a placement is invalid"
+    )]
     #[must_use]
     pub fn is_valid_for(&self, program: &Program) -> bool {
         let mut spans: Vec<(u64, u64)> = Vec::new();
@@ -181,6 +221,7 @@ impl Placement {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use impact_ir::{BranchBias, ProgramBuilder, Terminator};
     use impact_profile::Profiler;

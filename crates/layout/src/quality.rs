@@ -3,7 +3,6 @@
 
 use impact_ir::Program;
 use impact_profile::Profile;
-use serde::{Deserialize, Serialize};
 
 use crate::trace_select::TraceAssignment;
 
@@ -19,7 +18,7 @@ use crate::trace_select::TraceAssignment;
 ///
 /// Fractions are weighted by dynamic execution counts and sum to 1 (when
 /// any transfer executed).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TraceQuality {
     /// Weighted fraction of tail-to-header transfers.
     pub neutral: f64,
@@ -75,9 +74,7 @@ impl TraceQuality {
                 let t_to = ta.trace_of(to);
                 let from_is_tail = ta.tail(t_from) == from;
                 let to_is_header = ta.header(t_to) == to;
-                if t_from == t_to
-                    && ta.position_in_trace(to) == ta.position_in_trace(from) + 1
-                {
+                if t_from == t_to && ta.position_in_trace(to) == ta.position_in_trace(from) + 1 {
                     desirable += w;
                 } else if from_is_tail && to_is_header {
                     neutral += w;
@@ -103,7 +100,7 @@ impl TraceQuality {
 }
 
 /// Table 3 statistics: the effect of inline expansion.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct InlineReport {
     /// Static code size increase, e.g. `0.17` for +17 %.
     pub code_increase: f64,
@@ -140,8 +137,14 @@ impl InlineReport {
                 calls as f64 / instrs as f64
             }
         };
-        let b_rate = rate(before_profile.totals.calls, before_profile.totals.instructions);
-        let a_rate = rate(after_profile.totals.calls, after_profile.totals.instructions);
+        let b_rate = rate(
+            before_profile.totals.calls,
+            before_profile.totals.instructions,
+        );
+        let a_rate = rate(
+            after_profile.totals.calls,
+            after_profile.totals.instructions,
+        );
         Self {
             code_increase: if b_bytes > 0.0 {
                 (a_bytes - b_bytes) / b_bytes

@@ -313,10 +313,16 @@ mod tests {
         let right = f.block_n(3);
         let join = f.block_n(1);
         let exit = f.block_n(0);
-        f.terminate(entry, Terminator::branch(left, right, BranchBias::fixed(0.95)));
+        f.terminate(
+            entry,
+            Terminator::branch(left, right, BranchBias::fixed(0.95)),
+        );
         f.terminate(left, Terminator::jump(join));
         f.terminate(right, Terminator::jump(join));
-        f.terminate(join, Terminator::branch(entry, exit, BranchBias::fixed(0.9)));
+        f.terminate(
+            join,
+            Terminator::branch(entry, exit, BranchBias::fixed(0.9)),
+        );
         f.terminate(exit, Terminator::Exit);
         let id = f.finish();
         pb.set_entry(id);
@@ -333,9 +339,21 @@ mod tests {
         assert!(ta.is_partition_of(p.function(fid)));
         // entry, left, join should share a trace; right and exit do not.
         let t_entry = ta.trace_of(BlockId::new(0));
-        assert_eq!(ta.trace_of(BlockId::new(1)), t_entry, "left joins entry's trace");
-        assert_eq!(ta.trace_of(BlockId::new(3)), t_entry, "join joins entry's trace");
-        assert_ne!(ta.trace_of(BlockId::new(2)), t_entry, "cold right arm excluded");
+        assert_eq!(
+            ta.trace_of(BlockId::new(1)),
+            t_entry,
+            "left joins entry's trace"
+        );
+        assert_eq!(
+            ta.trace_of(BlockId::new(3)),
+            t_entry,
+            "join joins entry's trace"
+        );
+        assert_ne!(
+            ta.trace_of(BlockId::new(2)),
+            t_entry,
+            "cold right arm excluded"
+        );
         assert_ne!(ta.trace_of(BlockId::new(4)), t_entry, "cold exit excluded");
     }
 
@@ -362,7 +380,10 @@ mod tests {
         let mut f = pb.function("main");
         let entry = f.block_n(1);
         let exit = f.block_n(0);
-        f.terminate(entry, Terminator::branch(entry, exit, BranchBias::fixed(0.9)));
+        f.terminate(
+            entry,
+            Terminator::branch(entry, exit, BranchBias::fixed(0.9)),
+        );
         f.terminate(exit, Terminator::Exit);
         let id = f.finish();
         pb.set_entry(id);
@@ -424,7 +445,9 @@ mod tests {
     fn min_prob_one_requires_certain_arcs() {
         let (p, prof) = diamond();
         let fid = p.entry();
-        let ta = TraceSelector::new().min_prob(1.0).select(p.function(fid), fid, &prof);
+        let ta = TraceSelector::new()
+            .min_prob(1.0)
+            .select(p.function(fid), fid, &prof);
         // With min_prob = 1.0, the 95% branch no longer qualifies, but the
         // left -> join jump (100% of left's outflow) may still qualify if
         // join receives only from left... it does not (right also enters),
@@ -526,7 +549,12 @@ mod tests {
         assert_eq!(ta.trace_count(), 1);
         assert_eq!(
             ta.trace(0),
-            &[BlockId::new(0), BlockId::new(1), BlockId::new(2), BlockId::new(3)]
+            &[
+                BlockId::new(0),
+                BlockId::new(1),
+                BlockId::new(2),
+                BlockId::new(3)
+            ]
         );
     }
 
@@ -545,7 +573,10 @@ mod tests {
         f.terminate(diverge, Terminator::branch(x, y, BranchBias::fixed(0.5)));
         f.terminate(x, Terminator::jump(m));
         f.terminate(y, Terminator::jump(m));
-        f.terminate(m, Terminator::branch(diverge, exit, BranchBias::fixed(0.85)));
+        f.terminate(
+            m,
+            Terminator::branch(diverge, exit, BranchBias::fixed(0.85)),
+        );
         f.terminate(exit, Terminator::Exit);
         let id = f.finish();
         pb.set_entry(id);

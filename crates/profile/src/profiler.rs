@@ -3,12 +3,11 @@
 use std::collections::BTreeMap;
 
 use impact_ir::{BlockId, FuncId, Program};
-use serde::{Deserialize, Serialize};
 
 use crate::walk::{ExecLimits, ExecSummary, ExecVisitor, Transfer, TransferKind, Walker};
 
 /// The weighted control graph of one function.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FunctionProfile {
     /// Times the function was invoked.
     pub invocations: u64,
@@ -53,7 +52,7 @@ impl FunctionProfile {
 
 /// A complete program profile: weighted call graph plus one weighted
 /// control graph per function, with whole-run totals.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Profile {
     /// Per-function weighted control graphs (indexed by function id).
     pub funcs: Vec<FunctionProfile>,
@@ -94,10 +93,7 @@ impl Profile {
     /// Execution count of an intra-function arc.
     #[must_use]
     pub fn arc_weight(&self, func: FuncId, from: BlockId, to: BlockId) -> u64 {
-        *self.funcs[func.index()]
-            .arcs
-            .get(&(from, to))
-            .unwrap_or(&0)
+        *self.funcs[func.index()].arcs.get(&(from, to)).unwrap_or(&0)
     }
 
     /// Invocation count of a function (the node weight of the weighted
@@ -134,8 +130,7 @@ impl Profile {
     /// Returns `None` if no calls were executed.
     #[must_use]
     pub fn instrs_per_call(&self) -> Option<f64> {
-        (self.totals.calls > 0)
-            .then(|| self.totals.instructions as f64 / self.totals.calls as f64)
+        (self.totals.calls > 0).then(|| self.totals.instructions as f64 / self.totals.calls as f64)
     }
 
     /// Intra-function control transfers per dynamic call (Table 3, "CT's
@@ -154,11 +149,7 @@ impl Profile {
     pub fn merge(&mut self, other: &Profile) {
         assert_eq!(self.funcs.len(), other.funcs.len(), "shape mismatch");
         for (a, b) in self.funcs.iter_mut().zip(&other.funcs) {
-            assert_eq!(
-                a.block_counts.len(),
-                b.block_counts.len(),
-                "shape mismatch"
-            );
+            assert_eq!(a.block_counts.len(), b.block_counts.len(), "shape mismatch");
             a.invocations += b.invocations;
             for (x, y) in a.block_counts.iter_mut().zip(&b.block_counts) {
                 *x += *y;
@@ -308,7 +299,9 @@ impl Profiler {
                 profile: &mut profile,
                 stack: Vec::new(),
             };
-            let summary = Walker::new(program).with_limits(self.limits).run(seed, &mut visitor);
+            let summary = Walker::new(program)
+                .with_limits(self.limits)
+                .run(seed, &mut visitor);
             profile.funcs[program.entry().index()].invocations += 1;
             profile.runs += 1;
             profile.totals.instructions += summary.instructions;
@@ -339,7 +332,10 @@ mod tests {
         let exit = main.block(vec![]);
         main.terminate(entry, Terminator::jump(call));
         main.terminate(call, Terminator::call(leaf, latch));
-        main.terminate(latch, Terminator::branch(call, exit, BranchBias::fixed(0.8)));
+        main.terminate(
+            latch,
+            Terminator::branch(call, exit, BranchBias::fixed(0.8)),
+        );
         main.terminate(exit, Terminator::Exit);
         let main_id = main.finish();
         let mut lf = pb.function_reserved(leaf);
@@ -392,7 +388,9 @@ mod tests {
         let prof = Profiler::new().runs(8).profile(&p);
         let main = p.entry();
         let latch = BlockId::new(2);
-        let incoming: u64 = prof.function(main).predecessors_by_weight(latch)
+        let incoming: u64 = prof
+            .function(main)
+            .predecessors_by_weight(latch)
             .iter()
             .map(|&(_, w)| w)
             .sum();
@@ -440,8 +438,7 @@ mod tests {
         );
         assert_eq!(
             merged.block_weight(p.entry(), BlockId::new(0)),
-            a.block_weight(p.entry(), BlockId::new(0))
-                + b.block_weight(p.entry(), BlockId::new(0))
+            a.block_weight(p.entry(), BlockId::new(0)) + b.block_weight(p.entry(), BlockId::new(0))
         );
     }
 
@@ -453,7 +450,10 @@ mod tests {
         let ct = prof.transfers_per_call().unwrap();
         assert!(di > 0.0);
         assert!(ct > 0.0);
-        assert!(di > ct, "instructions per call should exceed transfers per call");
+        assert!(
+            di > ct,
+            "instructions per call should exceed transfers per call"
+        );
     }
 
     #[test]

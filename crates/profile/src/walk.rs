@@ -8,9 +8,7 @@
 //! seed).
 
 use impact_ir::{BlockId, FuncId, Program, Terminator};
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use impact_support::Rng;
 
 /// Kind of a dynamic control transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -110,9 +108,7 @@ impl Default for ExecLimits {
 }
 
 /// Outcome of one walk.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExecSummary {
     /// Dynamic instructions executed (bodies + terminator slots).
     pub instructions: u64,
@@ -169,7 +165,7 @@ impl<'p> Walker<'p> {
     /// exceed [`ExecLimits::max_call_depth`] (runaway recursion); the
     /// latter two mark the summary as truncated.
     pub fn run<V: ExecVisitor>(&self, input_seed: u64, visitor: &mut V) -> ExecSummary {
-        let mut rng = ChaCha8Rng::seed_from_u64(input_seed ^ 0xD1B5_4A32_D192_ED03);
+        let mut rng = Rng::seed_from_u64(input_seed ^ 0xD1B5_4A32_D192_ED03);
         let mut summary = ExecSummary::default();
         let mut stack: Vec<(FuncId, BlockId)> = Vec::new();
         let mut func = self.program.entry();
@@ -192,7 +188,7 @@ impl<'p> Walker<'p> {
                     // Branch behavior is keyed by (function name, block),
                     // so it survives structural renumbering.
                     let p = bias.effective(input_seed, impact_ir::site_key(f.name(), block));
-                    if rng.gen::<f64>() < p {
+                    if rng.gen_f64() < p {
                         (TransferKind::BranchTaken, Some((func, *taken)))
                     } else {
                         (TransferKind::BranchNotTaken, Some((func, *not_taken)))
@@ -201,7 +197,7 @@ impl<'p> Walker<'p> {
                 Terminator::Switch { targets } => {
                     let total: u64 = targets.iter().map(|(_, w)| u64::from(*w)).sum();
                     debug_assert!(total > 0, "validated switches have positive total weight");
-                    let mut pick = rng.gen_range(0..total);
+                    let mut pick = rng.gen_below(total);
                     let mut chosen = targets[0].0;
                     for (t, w) in targets {
                         let w = u64::from(*w);
@@ -274,7 +270,10 @@ mod tests {
         let mut f = pb.function("main");
         let body = f.block(vec![Instr::IntAlu; 3]);
         let exit = f.block(vec![]);
-        f.terminate(body, Terminator::branch(body, exit, BranchBias::fixed(p_loop)));
+        f.terminate(
+            body,
+            Terminator::branch(body, exit, BranchBias::fixed(p_loop)),
+        );
         f.terminate(exit, Terminator::Exit);
         let id = f.finish();
         pb.set_entry(id);

@@ -1,0 +1,90 @@
+//! A tiny property-testing harness.
+//!
+//! Replaces `proptest` with a deliberately simple deterministic model: a
+//! property runs over `cases` inputs generated from a seeded [`Rng`], and
+//! a failure reports the case's seed so it reproduces exactly. There is
+//! no shrinking — generators here are small enough that the failing value
+//! itself is readable.
+//!
+//! ```
+//! use impact_support::check;
+//!
+//! check::forall(64, |rng| rng.gen_below(100), |&x| {
+//!     assert!(x < 100);
+//! });
+//! ```
+
+use crate::rng::Rng;
+
+/// The base seed every [`forall`] derives its case seeds from; fixed so
+/// failures reproduce across runs and machines.
+pub const BASE_SEED: u64 = 0x1417_ca5e_5eed;
+
+/// Runs `property` over `cases` inputs drawn from `generate`.
+///
+/// Each case gets its own RNG seeded from [`BASE_SEED`] and the case
+/// index, so cases are independent and individually reproducible.
+///
+/// # Panics
+///
+/// Re-raises the property's panic, prefixed with the failing case index
+/// (stderr) so the case can be replayed with [`case_rng`].
+pub fn forall<T: std::fmt::Debug>(
+    cases: u32,
+    mut generate: impl FnMut(&mut Rng) -> T,
+    property: impl Fn(&T),
+) {
+    for case in 0..cases {
+        let mut rng = case_rng(case);
+        let value = generate(&mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&value)));
+        if let Err(panic) = result {
+            eprintln!("property failed on case {case}: {value:?}");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// The RNG used for case `case` of any [`forall`] — for replaying a
+/// reported failure in isolation.
+#[must_use]
+pub fn case_rng(case: u32) -> Rng {
+    Rng::seed_from_u64(BASE_SEED ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        forall(10, |rng| rng.next_u64(), |_| {});
+        forall(10, |rng| rng.gen_below(5), |&x| assert!(x < 5));
+        count += 10;
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn failing_property_panics() {
+        forall(
+            32,
+            |rng| rng.gen_below(100),
+            |&x| {
+                assert!(x % 2 == 0 || x % 2 == 1, "unreachable");
+                if x % 2 == 1 {
+                    panic!("odd value {x}");
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        let a = case_rng(3).next_u64();
+        let b = case_rng(3).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(case_rng(3).next_u64(), case_rng(4).next_u64());
+    }
+}

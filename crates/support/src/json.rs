@@ -1,0 +1,312 @@
+//! A minimal JSON document model.
+//!
+//! Replaces `serde`/`serde_json` for the workspace's machine-readable
+//! output (experiment tables, lint diagnostics). Serialization only —
+//! nothing in the workspace parses JSON.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number (serialized via shortest-roundtrip `f64`
+    /// formatting; integers print without a fractional part).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl std::fmt::Display for Json {
+    /// Compact single-line rendering.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+impl Json {
+    /// Pretty rendering with two-space indentation.
+    #[must_use]
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_number(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1);
+            }),
+            Json::Obj(fields) => write_seq(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                write_escaped(out, &fields[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                fields[i].1.write(out, indent, depth + 1);
+            }),
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            for _ in 0..w * (depth + 1) {
+                out.push(' ');
+            }
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_number(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no NaN/Infinity; null is the conventional stand-in.
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// This value as a JSON document.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_owned())
+    }
+}
+
+macro_rules! impl_num_to_json {
+    ($($t:ty),+) => {
+        $(impl ToJson for $t {
+            #[allow(clippy::cast_precision_loss, clippy::cast_lossless)]
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        })+
+    };
+}
+impl_num_to_json!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+/// Implements [`ToJson`] for a struct by listing its fields:
+///
+/// ```
+/// struct Row { name: String, miss: f64 }
+/// impact_support::json_object!(Row { name, miss });
+/// let r = Row { name: "wc".into(), miss: 0.01 };
+/// assert_eq!(
+///     impact_support::ToJson::to_json(&r).to_string(),
+///     r#"{"name":"wc","miss":0.01}"#
+/// );
+/// ```
+#[macro_export]
+macro_rules! json_object {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $((stringify!($field).to_owned(),
+                       $crate::json::ToJson::to_json(&self.$field))),+
+                ])
+            }
+        }
+    };
+}
+
+/// Serializes a slice of rows as a pretty-printed JSON array — the shape
+/// `repro --json` and `impact lint --json` emit.
+pub fn rows_to_json_pretty<R: ToJson>(rows: &[R]) -> String {
+    Json::Arr(rows.iter().map(ToJson::to_json).collect()).to_string_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Num(3.0).to_string(), "3");
+        assert_eq!(Json::Num(0.25).to_string(), "0.25");
+        assert_eq!(Json::Str("a\"b".into()).to_string(), r#""a\"b""#);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn control_characters_escape() {
+        assert_eq!(Json::Str("a\nb\u{1}".into()).to_string(), r#""a\nb\u0001""#);
+    }
+
+    #[test]
+    fn arrays_and_objects_nest() {
+        let doc = Json::Obj(vec![
+            ("xs".into(), Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+            ("empty".into(), Json::Arr(vec![])),
+        ]);
+        assert_eq!(doc.to_string(), r#"{"xs":[1,2],"empty":[]}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let doc = Json::Obj(vec![("a".into(), Json::Num(1.0))]);
+        assert_eq!(doc.to_string_pretty(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn macro_implements_to_json() {
+        struct Row {
+            name: &'static str,
+            hits: u64,
+            ratio: f64,
+        }
+        json_object!(Row { name, hits, ratio });
+        let r = Row {
+            name: "wc",
+            hits: 10,
+            ratio: 0.5,
+        };
+        assert_eq!(
+            r.to_json().to_string(),
+            r#"{"name":"wc","hits":10,"ratio":0.5}"#
+        );
+    }
+
+    #[test]
+    fn rows_serialize_as_array() {
+        let out = rows_to_json_pretty(&[1u32, 2u32]);
+        assert_eq!(out, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn options_and_tuples() {
+        assert_eq!(Some(3u32).to_json().to_string(), "3");
+        assert_eq!(None::<u32>.to_json().to_string(), "null");
+        assert_eq!((1u32, "x").to_json().to_string(), r#"[1,"x"]"#);
+    }
+}

@@ -75,7 +75,11 @@ pub struct DinParseError {
 
 impl std::fmt::Display for DinParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "din line {}: malformed record {:?}", self.line, self.text)
+        write!(
+            f,
+            "din line {}: malformed record {:?}",
+            self.line, self.text
+        )
     }
 }
 
@@ -109,10 +113,7 @@ impl std::error::Error for DinReadError {}
 ///
 /// Returns [`DinReadError`] on I/O failure or a malformed record. Blank
 /// lines and `#` comments are tolerated (some tools emit them).
-pub fn read_din<R: BufRead, F: FnMut(u64)>(
-    reader: R,
-    mut sink: F,
-) -> Result<u64, DinReadError> {
+pub fn read_din<R: BufRead, F: FnMut(u64)>(reader: R, mut sink: F) -> Result<u64, DinReadError> {
     let mut fetches = 0u64;
     for (idx, line) in reader.lines().enumerate() {
         let line = line.map_err(DinReadError::Io)?;

@@ -221,9 +221,7 @@ mod tests {
         // Every fetched address lies in the effective region: this
         // program has no dead blocks only if all blocks executed; filter
         // instead on the guarantee that fetched addresses < total.
-        assert!(trace
-            .iter()
-            .all(|&a| a < r.placement.total_bytes()));
+        assert!(trace.iter().all(|&a| a < r.placement.total_bytes()));
     }
 
     #[test]

@@ -344,7 +344,6 @@ pub fn by_name(name: &str) -> Option<Workload> {
     Some(spec.build())
 }
 
-
 /// Names of the extended benchmark set (the paper's §5: "expanding the
 /// benchmark set to include more than 30 UNIX and CAD programs").
 pub const EXTENDED_NAMES: [&str; 8] = [
@@ -570,7 +569,10 @@ mod tests {
                 .program
                 .function_by_name(&format!("helper_{i}"))
                 .unwrap();
-            assert!(cg.is_recursive(h), "helper_{i} must look like a syscall stub");
+            assert!(
+                cg.is_recursive(h),
+                "helper_{i} must look like a syscall stub"
+            );
         }
     }
 

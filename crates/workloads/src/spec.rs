@@ -31,9 +31,7 @@
 //! | `inner_iters`, `outer_iters`, `phase_decay` | dynamic length & reuse | Table 2 instructions |
 
 use impact_ir::{BlockId, BranchBias, FuncId, Instr, Program, ProgramBuilder, Terminator};
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use impact_support::Rng;
 
 /// Parameters of one synthetic benchmark model. See the module docs for
 /// the mapping from knobs to paper statistics.
@@ -163,7 +161,7 @@ impl SyntheticSpec {
             self.name
         );
 
-        let mut rng = ChaCha8Rng::seed_from_u64(self.structure_seed ^ 0x00ca_11ab_1e00_0000);
+        let mut rng = Rng::seed_from_u64(self.structure_seed ^ 0x00ca_11ab_1e00_0000);
         let mut pb = ProgramBuilder::new();
 
         // Reserve (= declare) functions the way a multi-file C program
@@ -213,9 +211,9 @@ impl SyntheticSpec {
     }
 
     /// A hot-path block body.
-    fn hot_body(&self, rng: &mut ChaCha8Rng) -> Vec<Instr> {
+    fn hot_body(&self, rng: &mut Rng) -> Vec<Instr> {
         let (lo, hi) = self.block_instrs;
-        let n = rng.gen_range(lo..=hi);
+        let n = rng.gen_range_inclusive(lo, hi);
         let mut body = Vec::with_capacity(n);
         for i in 0..n {
             body.push(match i % 4 {
@@ -237,7 +235,7 @@ impl SyntheticSpec {
         pb: &mut ProgramBuilder,
         phase_ids: &[FuncId],
         cold_ids: &[FuncId],
-        rng: &mut ChaCha8Rng,
+        rng: &mut Rng,
     ) -> FuncId {
         let mut f = pb.function("main");
 
@@ -291,7 +289,10 @@ impl SyntheticSpec {
             let next = epilogue.get(k + 1).map_or(exit, |(g, _)| *g);
             let (call_block, callee) = call.expect("epilogue entries carry calls");
             let p = if k % 2 == 0 { 0.3 } else { 0.0 };
-            f.terminate(guard, Terminator::branch(call_block, next, BranchBias::fixed(p)));
+            f.terminate(
+                guard,
+                Terminator::branch(call_block, next, BranchBias::fixed(p)),
+            );
             f.terminate(call_block, Terminator::call(callee, next));
         }
         f.terminate(exit, Terminator::Exit);
@@ -306,7 +307,7 @@ impl SyntheticSpec {
         fid: FuncId,
         phase_index: usize,
         helper_ids: &[FuncId],
-        rng: &mut ChaCha8Rng,
+        rng: &mut Rng,
     ) {
         let mut f = pb.function_reserved(fid);
         let entry = f.block(self.hot_body(rng));
@@ -330,12 +331,15 @@ impl SyntheticSpec {
             Call,
         }
 
-        let cadence_hits = |cadence: usize, s: usize| cadence > 0 && (s + 1).is_multiple_of(cadence);
+        let cadence_hits =
+            |cadence: usize, s: usize| cadence > 0 && (s + 1).is_multiple_of(cadence);
         let mut segments: Vec<Segment> = Vec::with_capacity(self.segments_per_phase);
         let mut call_sites = 0usize;
 
         for s in 0..self.segments_per_phase {
-            let run: Vec<BlockId> = (0..self.run_len).map(|_| f.block(self.hot_body(rng))).collect();
+            let run: Vec<BlockId> = (0..self.run_len)
+                .map(|_| f.block(self.hot_body(rng)))
+                .collect();
             for w in run.windows(2) {
                 f.terminate(w[0], Terminator::jump(w[1]));
             }
@@ -478,13 +482,7 @@ impl SyntheticSpec {
         (((index + 1) as f64) * f).floor() > ((index as f64) * f).floor()
     }
 
-    fn build_helper(
-        &self,
-        pb: &mut ProgramBuilder,
-        fid: FuncId,
-        index: usize,
-        rng: &mut ChaCha8Rng,
-    ) {
+    fn build_helper(&self, pb: &mut ProgramBuilder, fid: FuncId, index: usize, rng: &mut Rng) {
         let mut f = pb.function_reserved(fid);
         let blocks: Vec<BlockId> = (0..self.helper_blocks.max(1))
             .map(|_| f.block(self.hot_body(rng)))
@@ -519,7 +517,7 @@ impl SyntheticSpec {
         f.terminate(ret, Terminator::Return);
     }
 
-    fn build_cold(&self, pb: &mut ProgramBuilder, fid: FuncId, rng: &mut ChaCha8Rng) {
+    fn build_cold(&self, pb: &mut ProgramBuilder, fid: FuncId, rng: &mut Rng) {
         let mut f = pb.function_reserved(fid);
         let blocks: Vec<BlockId> = (0..self.cold_func_blocks.max(1))
             .map(|_| f.block(self.cold_body()))
@@ -527,7 +525,10 @@ impl SyntheticSpec {
         for w in blocks.windows(2) {
             f.terminate(w[0], Terminator::jump(w[1]));
         }
-        f.terminate(*blocks.last().expect("cold funcs have blocks"), Terminator::Return);
+        f.terminate(
+            *blocks.last().expect("cold funcs have blocks"),
+            Terminator::Return,
+        );
         f.set_entry(blocks[0]);
         let _ = rng;
         f.finish();

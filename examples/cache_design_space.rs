@@ -30,7 +30,11 @@ fn main() {
         std::process::exit(1);
     };
 
-    let budget = if fast { Budget::fast() } else { Budget::default() };
+    let budget = if fast {
+        Budget::fast()
+    } else {
+        Budget::default()
+    };
     let p = prepare(&workload, &budget);
     println!(
         "{name}: {} bytes placed ({} effective), evaluating input seed {}\n",

@@ -73,11 +73,7 @@ fn main() {
         .program
         .function_by_name("phase_0")
         .expect("spec has phases");
-    let traces = TraceSelector::new().select(
-        workload.program.function(hot_fid),
-        hot_fid,
-        &profile,
-    );
+    let traces = TraceSelector::new().select(workload.program.function(hot_fid), hot_fid, &profile);
     println!(
         "\nphase_0 trace selection: {} blocks in {} traces (mean length {:.2})",
         workload.program.function(hot_fid).block_count(),

@@ -13,7 +13,11 @@ use impact::experiments::tables::ablation;
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
-    let budget = if fast { Budget::fast() } else { Budget::default() };
+    let budget = if fast {
+        Budget::fast()
+    } else {
+        Budget::default()
+    };
     let prepared = prepare_all(&budget);
 
     let rows = ablation::run(&prepared);
@@ -25,9 +29,18 @@ fn main() {
     let smith_2k_64 = smith::target_miss_ratio(2048, 64).expect("2K/64B is in Table 1");
 
     println!("\nHeadline comparison (2KB cache, 64B blocks):");
-    println!("  Smith's fully-associative design target : {:.2}%", smith_2k_64 * 100.0);
-    println!("  unoptimized layout, fully associative    : {:.2}%", avg_fa * 100.0);
-    println!("  IMPACT-I placement, direct mapped        : {:.2}%", avg_full * 100.0);
+    println!(
+        "  Smith's fully-associative design target : {:.2}%",
+        smith_2k_64 * 100.0
+    );
+    println!(
+        "  unoptimized layout, fully associative    : {:.2}%",
+        avg_fa * 100.0
+    );
+    println!(
+        "  IMPACT-I placement, direct mapped        : {:.2}%",
+        avg_full * 100.0
+    );
     println!(
         "\nThe optimized direct-mapped cache achieves {:.1}x lower miss ratio than\n\
          the design target, with none of the associativity hardware.",

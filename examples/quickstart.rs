@@ -37,7 +37,10 @@ fn main() -> Result<(), ValidateError> {
     let error = p.block(vec![Instr::IntAlu; 24]); // cold error handler
     let fast = p.block(vec![Instr::IntAlu; 6]);
     let out = p.block(vec![Instr::Store]);
-    p.terminate(check, Terminator::branch(error, fast, BranchBias::fixed(0.0)));
+    p.terminate(
+        check,
+        Terminator::branch(error, fast, BranchBias::fixed(0.0)),
+    );
     p.terminate(error, Terminator::jump(out));
     p.terminate(fast, Terminator::jump(out));
     p.terminate(out, Terminator::Return);

@@ -8,6 +8,8 @@
 //! impact viz      <file> [options]                placement map and cache-set pressure
 //! impact trace    <file> -o out.din               export a din-format fetch trace
 //! impact simtrace <trace.din> [options]           simulate an external din trace
+//! impact lint     <file | workload | all>         run the static-analysis passes
+//!                                                 over the full pipeline
 //!
 //! common options:
 //!   --runs N        profiling runs                      (default 8)
@@ -20,6 +22,14 @@
 //!   --assoc A       direct | full | <N>                 (default direct)
 //!   --fill F        full | partial | sector:<BYTES>     (default full)
 //!   --no-optimize   simulate the program's natural layout
+//!
+//! lint options:
+//!   --json          emit diagnostics as JSON instead of text
+//!
+//! `impact lint` accepts a `.impact` file, the name of a bundled workload
+//! (`wc`, `grep`, ...), or `all`. It runs the checked pipeline and prints
+//! every diagnostic; the exit code is nonzero iff any *error*-severity
+//! diagnostic fired. See `impact_analyze` for the code table.
 //! ```
 //!
 //! Example session:
@@ -32,6 +42,7 @@
 
 use std::process::ExitCode;
 
+use impact::analyze::CheckedPipeline;
 use impact::asm::{parse_program, print_program};
 use impact::cache::{AccessSink, Associativity, Cache, CacheConfig, FillPolicy};
 use impact::ir::Program;
@@ -53,6 +64,7 @@ struct Options {
     assoc: Associativity,
     fill: FillPolicy,
     optimize: bool,
+    json: bool,
 }
 
 impl Options {
@@ -74,7 +86,7 @@ impl Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: impact <report|optimize|sim> <file.impact> [options]\n\
+        "usage: impact <report|optimize|sim|viz|trace|simtrace|lint> <file.impact> [options]\n\
          see `src/bin/impact.rs` header for the option list"
     );
     ExitCode::FAILURE
@@ -97,6 +109,7 @@ fn main() -> ExitCode {
         assoc: Associativity::Direct,
         fill: FillPolicy::FullBlock,
         optimize: true,
+        json: false,
     };
 
     let mut rest: Vec<String> = args.collect();
@@ -158,6 +171,7 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--no-optimize" => opts.optimize = false,
+            "--json" => opts.json = true,
             flag if flag.starts_with('-') => {
                 eprintln!("unknown option {flag}");
                 return usage();
@@ -177,6 +191,9 @@ fn main() -> ExitCode {
 
     if command == "simtrace" {
         return simtrace(&opts);
+    }
+    if command == "lint" {
+        return lint(&opts);
     }
 
     let source = match std::fs::read_to_string(&opts.file) {
@@ -201,6 +218,70 @@ fn main() -> ExitCode {
         "viz" => viz(&program, &opts),
         "trace" => trace(&program, &opts),
         _ => usage(),
+    }
+}
+
+/// Resolves the lint targets: a workload name, `all`, or a `.impact` file.
+fn lint_targets(opts: &Options) -> Result<Vec<(String, Program)>, String> {
+    if opts.file == "all" {
+        return Ok(impact::workloads::all()
+            .into_iter()
+            .map(|w| (w.name.to_string(), w.program))
+            .collect());
+    }
+    if let Some(w) = impact::workloads::by_name(&opts.file) {
+        return Ok(vec![(w.name.to_string(), w.program)]);
+    }
+    let source = std::fs::read_to_string(&opts.file).map_err(|e| {
+        format!(
+            "cannot read {}: {e} (and no workload has that name)",
+            opts.file
+        )
+    })?;
+    let program = parse_program(&source).map_err(|e| format!("{}: {e}", opts.file))?;
+    Ok(vec![(opts.file.clone(), program)])
+}
+
+fn lint(opts: &Options) -> ExitCode {
+    use impact::support::{Json, ToJson};
+
+    let targets = match lint_targets(opts) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let checked = CheckedPipeline::new(opts.pipeline());
+    let mut failed = false;
+    let mut json_rows: Vec<Json> = Vec::new();
+    for (name, program) in &targets {
+        let report = match checked.try_run(program) {
+            Ok((_, report)) => report,
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        failed |= !report.is_clean();
+        if opts.json {
+            json_rows.push(Json::Obj(vec![
+                ("target".to_string(), name.to_json()),
+                ("report".to_string(), report.to_json()),
+            ]));
+        } else {
+            println!("== {name} ==");
+            print!("{}", report.render());
+        }
+    }
+    if opts.json {
+        println!("{}", Json::Arr(json_rows).to_string_pretty());
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -233,7 +314,13 @@ fn report(program: &Program, opts: &Options) -> ExitCode {
 
     let mut funcs: Vec<_> = program
         .functions()
-        .map(|(fid, f)| (profile.func_weight(fid), f.name().to_owned(), f.size_bytes()))
+        .map(|(fid, f)| {
+            (
+                profile.func_weight(fid),
+                f.name().to_owned(),
+                f.size_bytes(),
+            )
+        })
         .collect();
     funcs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
     println!("\n{:<20} {:>12} {:>8}", "function", "invocations", "bytes");
@@ -416,7 +503,11 @@ fn sim(program: &Program, opts: &Options) -> ExitCode {
     let stats = cache.stats();
     println!(
         "{} layout, {}B cache, {}B blocks, seed {}:",
-        if opts.optimize { "optimized" } else { "natural" },
+        if opts.optimize {
+            "optimized"
+        } else {
+            "natural"
+        },
         opts.cache,
         opts.block,
         opts.seed
@@ -424,7 +515,11 @@ fn sim(program: &Program, opts: &Options) -> ExitCode {
     println!(
         "  {} fetches{} | miss {:.4}% | traffic {:.2}% | avg.fetch {:.1} | avg.exec {:.1}",
         stats.accesses,
-        if summary.truncated { " (truncated)" } else { "" },
+        if summary.truncated {
+            " (truncated)"
+        } else {
+            ""
+        },
         stats.miss_ratio() * 100.0,
         stats.traffic_ratio() * 100.0,
         stats.avg_fetch(),

@@ -10,15 +10,19 @@
 //! * [`trace`] — dynamic instruction-address traces,
 //! * [`cache`] — trace-driven cache simulation,
 //! * [`experiments`] — the per-table reproduction harness,
-//! * [`asm`] — a human-readable text format for program models.
+//! * [`asm`] — a human-readable text format for program models,
+//! * [`analyze`] — pass-based static analysis and lints (`impact lint`),
+//! * [`support`] — dependency-free RNG / JSON / test-harness utilities.
 
 #![forbid(unsafe_code)]
 
+pub use impact_analyze as analyze;
 pub use impact_asm as asm;
 pub use impact_cache as cache;
 pub use impact_experiments as experiments;
 pub use impact_ir as ir;
 pub use impact_layout as layout;
 pub use impact_profile as profile;
+pub use impact_support as support;
 pub use impact_trace as trace;
 pub use impact_workloads as workloads;

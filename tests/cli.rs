@@ -43,7 +43,11 @@ fn report_describes_the_program() {
         .args(["report", file.to_str().unwrap(), "--max-instrs", "200000"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("2 functions"), "{text}");
     assert!(text.contains("work"), "{text}");
@@ -66,7 +70,11 @@ fn sim_reports_cache_statistics() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("miss"), "{text}");
     assert!(text.contains("optimized layout"), "{text}");
@@ -87,7 +95,11 @@ fn optimize_round_trips_through_the_text_format() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // The emitted file must itself be a valid program the CLI can re-simulate.
     let out2 = impact_bin()
@@ -122,13 +134,21 @@ fn trace_then_simtrace_round_trips() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = impact_bin()
         .args(["simtrace", din.to_str().unwrap(), "--cache", "2048"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("fetches"), "{text}");
 }
@@ -136,7 +156,11 @@ fn trace_then_simtrace_round_trips() {
 #[test]
 fn bad_input_fails_with_a_line_numbered_error() {
     let path = std::env::temp_dir().join("impact_cli_test_bad.impact");
-    std::fs::write(&path, "program entry=main\nfn main {\n a:\n  jmp nowhere\n}\n").unwrap();
+    std::fs::write(
+        &path,
+        "program entry=main\nfn main {\n a:\n  jmp nowhere\n}\n",
+    )
+    .unwrap();
     let out = impact_bin()
         .args(["report", path.to_str().unwrap()])
         .output()

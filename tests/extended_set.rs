@@ -16,10 +16,12 @@ fn budget() -> Budget {
 fn extended_benchmarks_survive_the_pipeline() {
     for w in impact::workloads::extended() {
         let p = prepare(&w, &budget());
+        let verify = impact::analyze::verify_placement(&p.result.program, &p.result.placement);
         assert!(
-            p.result.placement.is_valid_for(&p.result.program),
-            "{}: invalid placement",
-            w.name
+            verify.is_clean(),
+            "{}: invalid placement\n{}",
+            w.name,
+            verify.render()
         );
         let stats = sim::simulate(
             &p.result.program,

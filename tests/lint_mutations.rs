@@ -1,0 +1,263 @@
+//! Mutation tests for the lint framework, through the public API: each
+//! analysis must fire on a deliberately corrupted artifact, and the full
+//! pipeline over every bundled workload must lint error-free.
+
+use impact::analyze::{self, ConflictConfig, Context, Pass, Registry};
+use impact::experiments::prepare::{prepare, Budget};
+use impact::ir::{BranchBias, FuncId, Instr, Program, ProgramBuilder, Terminator, ValidateError};
+use impact::layout::baseline;
+use impact::layout::placement::Placement;
+use impact::profile::{Profile, Profiler};
+
+/// A test budget small enough for debug builds.
+fn budget() -> Budget {
+    Budget {
+        profile_instrs: Some(60_000),
+        eval_instrs: Some(150_000),
+    }
+}
+
+/// The acceptance contract: every workload, full pipeline, zero errors.
+/// (Warnings — unreachable code, recursion, conflict pressure — are fine.)
+#[test]
+fn all_ten_workloads_lint_error_free() {
+    for w in impact::workloads::all() {
+        let p = prepare(&w, &budget());
+        let report = analyze::lint_result(&p.result);
+        assert_eq!(
+            report.error_count(),
+            0,
+            "{} must lint error-free:\n{}",
+            w.name,
+            report.render()
+        );
+    }
+}
+
+/// A two-block loop: entry branches back on itself with p=0.7, then exits.
+fn loop_program() -> (Program, Profile) {
+    let mut pb = ProgramBuilder::new();
+    let mut main = pb.function("main");
+    let b0 = main.block(vec![Instr::IntAlu; 2]);
+    let b1 = main.block(vec![Instr::IntAlu]);
+    main.terminate(b0, Terminator::branch(b0, b1, BranchBias::fixed(0.7)));
+    main.terminate(b1, Terminator::Exit);
+    let mid = main.finish();
+    pb.set_entry(mid);
+    let p = pb.finish().unwrap();
+    let prof = Profiler::new().runs(4).profile(&p);
+    (p, prof)
+}
+
+#[test]
+fn ipa001_fires_on_an_unreachable_block() {
+    let mut pb = ProgramBuilder::new();
+    let mut main = pb.function("main");
+    let b0 = main.block(vec![Instr::IntAlu]);
+    let b1 = main.block(vec![Instr::IntAlu]);
+    main.terminate(b0, Terminator::Exit);
+    main.terminate(b1, Terminator::jump(b0)); // nothing jumps to b1
+    let mid = main.finish();
+    pb.set_entry(mid);
+    let p = pb.finish().unwrap();
+
+    let report = analyze::lint_program(&p, None);
+    assert_eq!(report.with_code("IPA001").count(), 1, "{}", report.render());
+    assert_eq!(report.error_count(), 0, "unreachable code is a warning");
+}
+
+#[test]
+fn ipa002_fires_on_a_corrupted_block_count() {
+    let (p, mut prof) = loop_program();
+    let entry = p.entry().index();
+    prof.funcs[entry].block_counts[1] += 5; // counted more than flowed in
+    let report = analyze::lint_program(&p, Some(&prof));
+    assert!(
+        report.with_code("IPA002").count() > 0,
+        "{}",
+        report.render()
+    );
+    assert!(report.error_count() > 0);
+}
+
+#[test]
+fn ipa003_fires_on_a_corrupted_arc() {
+    let (p, mut prof) = loop_program();
+    let entry = p.entry().index();
+    let (&arc, _) = prof.funcs[entry].arcs.iter().next().expect("loop has arcs");
+    *prof.funcs[entry].arcs.get_mut(&arc).unwrap() += 7;
+    let report = analyze::lint_program(&p, Some(&prof));
+    assert!(
+        report.with_code("IPA003").count() > 0,
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn ipa004_bridges_structural_validation() {
+    let (p, _) = loop_program();
+    let err = ValidateError::DanglingCallee {
+        func: p.entry(),
+        block: impact::ir::BlockId::new(0),
+        callee: FuncId::new(99),
+    };
+    let d = analyze::program::StructuralValidation::diagnostic_of(&p, &err);
+    assert_eq!(d.code, "IPA004");
+    assert_eq!(d.severity, analyze::Severity::Error);
+}
+
+#[test]
+fn ipa005_fires_on_recursion() {
+    let mut pb = ProgramBuilder::new();
+    let me = pb.reserve("recur");
+    let mut f = pb.function_reserved(me);
+    let b0 = f.block(vec![Instr::IntAlu]);
+    let b1 = f.block(vec![]);
+    f.terminate(b0, Terminator::call(me, b1));
+    f.terminate(b1, Terminator::Exit);
+    f.finish();
+    pb.set_entry(me);
+    let p = pb.finish().unwrap();
+
+    let report = analyze::lint_program(&p, None);
+    assert!(
+        report.with_code("IPA005").count() > 0,
+        "{}",
+        report.render()
+    );
+    assert_eq!(report.error_count(), 0, "recursion is a warning");
+}
+
+/// Raw address table of a placement, editable for corruption.
+fn raw_addrs(p: &Program, placement: &Placement) -> Vec<Vec<u64>> {
+    p.functions()
+        .map(|(fid, func)| {
+            func.block_ids()
+                .map(|bid| placement.try_addr(fid, bid).unwrap_or(u64::MAX))
+                .collect()
+        })
+        .collect()
+}
+
+/// Rebuilds a placement from (possibly corrupted) raw addresses, keeping
+/// the original's order and byte totals.
+fn rebuild(placement: &Placement, addrs: Vec<Vec<u64>>) -> Placement {
+    Placement::from_raw(
+        addrs,
+        placement.func_order().to_vec(),
+        placement.effective_bytes(),
+        placement.total_bytes(),
+    )
+}
+
+/// Runs the placement verifiers (plus conflict pressure) on a pipeline
+/// result whose placement was swapped for `placement`.
+fn verify_with(
+    p: &impact::experiments::prepare::Prepared,
+    placement: &Placement,
+) -> analyze::Report {
+    let ctx = Context::of_result(&p.result).with_placement(placement);
+    Registry::placement_verifiers().run(&ctx)
+}
+
+#[test]
+fn ipa101_fires_on_a_missing_address() {
+    let w = impact::workloads::by_name("wc").unwrap();
+    let p = prepare(&w, &budget());
+    let entry = p.result.program.entry().index();
+    let mut addrs = raw_addrs(&p.result.program, &p.result.placement);
+    addrs[entry][0] = u64::MAX;
+    let report = verify_with(&p, &rebuild(&p.result.placement, addrs));
+    assert!(
+        report.with_code("IPA101").count() > 0,
+        "{}",
+        report.render()
+    );
+    assert!(report.error_count() > 0);
+}
+
+#[test]
+fn ipa102_fires_on_overlapping_blocks() {
+    let w = impact::workloads::by_name("wc").unwrap();
+    let p = prepare(&w, &budget());
+    let entry = p.result.program.entry().index();
+    let mut addrs = raw_addrs(&p.result.program, &p.result.placement);
+    addrs[entry][1] = addrs[entry][0]; // two blocks at one address
+    let report = verify_with(&p, &rebuild(&p.result.placement, addrs));
+    assert!(
+        report.with_code("IPA102").count() > 0,
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn ipa103_fires_on_hot_code_in_the_cold_region() {
+    let w = impact::workloads::by_name("wc").unwrap();
+    let p = prepare(&w, &budget());
+    let entry = p.result.program.entry().index();
+    let mut addrs = raw_addrs(&p.result.program, &p.result.placement);
+    // The entry block certainly executed; banish it past the boundary.
+    addrs[entry][0] = p.result.placement.total_bytes();
+    let report = verify_with(&p, &rebuild(&p.result.placement, addrs));
+    assert!(
+        report.with_code("IPA103").count() > 0,
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn ipa104_fires_on_a_misaligned_block() {
+    let w = impact::workloads::by_name("wc").unwrap();
+    let p = prepare(&w, &budget());
+    let entry = p.result.program.entry().index();
+    let mut addrs = raw_addrs(&p.result.program, &p.result.placement);
+    addrs[entry][0] += 2;
+    let report = verify_with(&p, &rebuild(&p.result.placement, addrs));
+    assert!(
+        report.with_code("IPA104").count() > 0,
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn ipa105_fires_on_a_layout_that_breaks_traces() {
+    let w = impact::workloads::by_name("wc").unwrap();
+    let p = prepare(&w, &budget());
+    // A random placement ignores the selected traces entirely.
+    let scrambled = baseline::random(&p.result.program, 7);
+    let broken = verify_with(&p, &scrambled);
+    assert!(
+        broken.with_code("IPA105").count() > 0,
+        "{}",
+        broken.render()
+    );
+    // The optimized placement keeps every trace contiguous.
+    let optimized = verify_with(&p, &p.result.placement);
+    assert_eq!(
+        optimized.with_code("IPA105").count(),
+        0,
+        "{}",
+        optimized.render()
+    );
+}
+
+#[test]
+fn ipa201_fires_when_the_cache_has_one_set() {
+    let w = impact::workloads::by_name("wc").unwrap();
+    let p = prepare(&w, &budget());
+    // One 64-byte set: every hot line contests it.
+    let tiny = ConflictConfig {
+        cache_bytes: 64,
+        line_bytes: 64,
+        hot_fraction: 0.0,
+        ..ConflictConfig::default()
+    };
+    let ctx = Context::of_result(&p.result).with_conflict(tiny);
+    let diags = analyze::cache::ConflictPressure.run(&ctx);
+    assert!(!diags.is_empty(), "a one-set cache must show conflicts");
+    assert!(diags.iter().all(|d| d.code == "IPA201"));
+}

@@ -117,7 +117,11 @@ fn traffic_reduction_schemes_behave_as_described() {
             "{}: sector traffic above full-block",
             p.workload.name
         );
-        assert!(s[0].misses >= full.misses, "{}: sectoring missed less", p.workload.name);
+        assert!(
+            s[0].misses >= full.misses,
+            "{}: sectoring missed less",
+            p.workload.name
+        );
     }
 }
 

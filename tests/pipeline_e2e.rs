@@ -1,8 +1,8 @@
 //! End-to-end pipeline tests over the real benchmark models.
 
+use impact::cache::CacheConfig;
 use impact::experiments::prepare::{prepare, Budget};
 use impact::experiments::sim;
-use impact::cache::CacheConfig;
 use impact::layout::baseline;
 
 /// A test budget small enough for debug builds.
@@ -17,10 +17,12 @@ fn budget() -> Budget {
 fn every_benchmark_survives_the_full_pipeline() {
     for w in impact::workloads::all() {
         let p = prepare(&w, &budget());
+        let verify = impact::analyze::verify_placement(&p.result.program, &p.result.placement);
         assert!(
-            p.result.placement.is_valid_for(&p.result.program),
-            "{}: invalid placement",
-            w.name
+            verify.is_clean(),
+            "{}: invalid placement\n{}",
+            w.name,
+            verify.render()
         );
         assert!(
             p.result.global.is_permutation_of(&p.result.program),
@@ -55,8 +57,20 @@ fn pipeline_is_deterministic_end_to_end() {
 
     let configs = [CacheConfig::direct_mapped(2048, 64)];
     let limits = budget().eval_limits(&w);
-    let s1 = sim::simulate(&a.result.program, &a.result.placement, a.eval_seed(), limits, &configs);
-    let s2 = sim::simulate(&b.result.program, &b.result.placement, b.eval_seed(), limits, &configs);
+    let s1 = sim::simulate(
+        &a.result.program,
+        &a.result.placement,
+        a.eval_seed(),
+        limits,
+        &configs,
+    );
+    let s2 = sim::simulate(
+        &b.result.program,
+        &b.result.placement,
+        b.eval_seed(),
+        limits,
+        &configs,
+    );
     assert_eq!(s1, s2);
 }
 

@@ -1,14 +1,13 @@
 //! Property-based tests over random programs and random access traces.
 
 use impact::cache::{AccessSink, Associativity, Cache, CacheConfig, FillPolicy};
-use impact::ir::{
-    BlockId, BranchBias, FuncId, Instr, Program, ProgramBuilder, Terminator,
-};
+use impact::ir::{BlockId, BranchBias, FuncId, Instr, Program, ProgramBuilder, Terminator};
 use impact::layout::pipeline::{Pipeline, PipelineConfig};
 use impact::layout::{baseline, TraceSelector};
 use impact::profile::{ExecLimits, Profiler, Walker};
 use impact::trace::TraceGenerator;
-use proptest::prelude::*;
+use impact_support::check::forall;
+use impact_support::Rng;
 
 /// A terminator with indices to be resolved modulo the actual counts.
 #[derive(Clone, Debug)]
@@ -21,27 +20,42 @@ enum TermPlan {
     Exit,
 }
 
-fn arb_term() -> impl Strategy<Value = TermPlan> {
-    prop_oneof![
-        any::<usize>().prop_map(TermPlan::Jump),
-        (any::<usize>(), any::<usize>(), any::<u8>())
-            .prop_map(|(a, b, p)| TermPlan::Branch(a, b, p)),
-        prop::collection::vec((any::<usize>(), 0u32..10), 1..4).prop_map(TermPlan::Switch),
-        (any::<usize>(), any::<usize>()).prop_map(|(f, r)| TermPlan::Call(f, r)),
-        Just(TermPlan::Return),
-        Just(TermPlan::Exit),
-    ]
+fn gen_term(rng: &mut Rng) -> TermPlan {
+    match rng.gen_below(6) {
+        0 => TermPlan::Jump(rng.next_u64() as usize),
+        1 => TermPlan::Branch(
+            rng.next_u64() as usize,
+            rng.next_u64() as usize,
+            rng.gen_below(256) as u8,
+        ),
+        2 => {
+            let arms = rng.gen_range_inclusive(1, 3);
+            TermPlan::Switch(
+                (0..arms)
+                    .map(|_| (rng.next_u64() as usize, rng.gen_below(10) as u32))
+                    .collect(),
+            )
+        }
+        3 => TermPlan::Call(rng.next_u64() as usize, rng.next_u64() as usize),
+        4 => TermPlan::Return,
+        _ => TermPlan::Exit,
+    }
 }
 
 /// Blocks per function: `(body_len, terminator plan)`.
 type FuncPlan = Vec<(usize, TermPlan)>;
 
-fn arb_program() -> impl Strategy<Value = Program> {
-    prop::collection::vec(
-        prop::collection::vec((0usize..6, arb_term()), 1..8),
-        1..5,
-    )
-    .prop_map(|plans: Vec<FuncPlan>| build_program(&plans))
+fn gen_program(rng: &mut Rng) -> Program {
+    let nfuncs = rng.gen_range_inclusive(1, 4);
+    let plans: Vec<FuncPlan> = (0..nfuncs)
+        .map(|_| {
+            let nblocks = rng.gen_range_inclusive(1, 7);
+            (0..nblocks)
+                .map(|_| (rng.gen_below(6) as usize, gen_term(rng)))
+                .collect()
+        })
+        .collect();
+    build_program(&plans)
 }
 
 fn build_program(plans: &[FuncPlan]) -> Program {
@@ -73,9 +87,7 @@ fn build_program(plans: &[FuncPlan]) -> Program {
                     }
                     Terminator::Switch { targets: arms }
                 }
-                TermPlan::Call(f, r) => {
-                    Terminator::call(ids[*f % ids.len()], resolve(*r))
-                }
+                TermPlan::Call(f, r) => Terminator::call(ids[*f % ids.len()], resolve(*r)),
                 TermPlan::Return => Terminator::Return,
                 TermPlan::Exit => Terminator::Exit,
             };
@@ -104,68 +116,91 @@ fn tiny_pipeline(inline: bool) -> Pipeline {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Any generated program validates and walks deterministically.
+#[test]
+fn walker_is_deterministic() {
+    forall(
+        48,
+        |rng| (gen_program(rng), rng.gen_below(1000)),
+        |(program, seed)| {
+            program.validate().unwrap();
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            struct Rec<'v>(&'v mut Vec<(FuncId, BlockId)>);
+            impl impact::profile::ExecVisitor for Rec<'_> {
+                fn block(&mut self, f: FuncId, b: BlockId) {
+                    self.0.push((f, b));
+                }
+                fn transfer(&mut self, _t: impact::profile::Transfer) {}
+            }
+            Walker::new(program)
+                .with_limits(tight_limits())
+                .run(*seed, &mut Rec(&mut a));
+            Walker::new(program)
+                .with_limits(tight_limits())
+                .run(*seed, &mut Rec(&mut b));
+            assert_eq!(a, b);
+        },
+    );
+}
 
-    /// Any generated program validates and walks deterministically.
-    #[test]
-    fn walker_is_deterministic(program in arb_program(), seed in 0u64..1000) {
-        program.validate().unwrap();
-        let mut a = Vec::new();
-        let mut b = Vec::new();
-        struct Rec<'v>(&'v mut Vec<(FuncId, BlockId)>);
-        impl impact::profile::ExecVisitor for Rec<'_> {
-            fn block(&mut self, f: FuncId, b: BlockId) { self.0.push((f, b)); }
-            fn transfer(&mut self, _t: impact::profile::Transfer) {}
-        }
-        Walker::new(&program).with_limits(tight_limits()).run(seed, &mut Rec(&mut a));
-        Walker::new(&program).with_limits(tight_limits()).run(seed, &mut Rec(&mut b));
-        prop_assert_eq!(a, b);
-    }
+/// The full pipeline yields a valid placement; without inlining it
+/// preserves the program and its byte count exactly.
+#[test]
+#[allow(deprecated)]
+fn pipeline_placement_is_always_valid() {
+    forall(48, gen_program, |program| {
+        let no_inline = tiny_pipeline(false).run(program);
+        assert!(no_inline.placement.is_valid_for(&no_inline.program));
+        assert_eq!(no_inline.program.total_bytes(), program.total_bytes());
 
-    /// The full pipeline yields a valid placement; without inlining it
-    /// preserves the program and its byte count exactly.
-    #[test]
-    fn pipeline_placement_is_always_valid(program in arb_program()) {
-        let no_inline = tiny_pipeline(false).run(&program);
-        prop_assert!(no_inline.placement.is_valid_for(&no_inline.program));
-        prop_assert_eq!(no_inline.program.total_bytes(), program.total_bytes());
+        let inlined = tiny_pipeline(true).run(program);
+        assert!(inlined.placement.is_valid_for(&inlined.program));
+        assert!(inlined.program.total_bytes() >= program.total_bytes());
+    });
+}
 
-        let inlined = tiny_pipeline(true).run(&program);
-        prop_assert!(inlined.placement.is_valid_for(&inlined.program));
-        prop_assert!(inlined.program.total_bytes() >= program.total_bytes());
-    }
-
-    /// Trace selection always partitions each function's blocks.
-    #[test]
-    fn traces_partition_blocks(program in arb_program()) {
-        let profile = Profiler::new().runs(2).limits(tight_limits()).profile(&program);
-        let traces = TraceSelector::new().select_program(&program, &profile);
+/// Trace selection always partitions each function's blocks.
+#[test]
+fn traces_partition_blocks() {
+    forall(48, gen_program, |program| {
+        let profile = Profiler::new()
+            .runs(2)
+            .limits(tight_limits())
+            .profile(program);
+        let traces = TraceSelector::new().select_program(program, &profile);
         for (fid, func) in program.functions() {
-            prop_assert!(traces[fid.index()].is_partition_of(func));
+            assert!(traces[fid.index()].is_partition_of(func));
         }
-    }
+    });
+}
 
-    /// Every fetched address falls inside the placed image, for both
-    /// baseline and optimized placements.
-    #[test]
-    fn traces_stay_in_bounds(program in arb_program(), seed in 0u64..100) {
-        let result = tiny_pipeline(false).run(&program);
-        for placement in [baseline::natural(&program), result.placement] {
-            let gen = TraceGenerator::new(&program, &placement).with_limits(tight_limits());
-            let mut ok = true;
-            gen.run(seed, |addr| {
-                ok &= addr % 4 == 0 && addr < placement.total_bytes();
-            });
-            prop_assert!(ok);
-        }
-    }
+/// Every fetched address falls inside the placed image, for both
+/// baseline and optimized placements.
+#[test]
+fn traces_stay_in_bounds() {
+    forall(
+        48,
+        |rng| (gen_program(rng), rng.gen_below(100)),
+        |(program, seed)| {
+            let result = tiny_pipeline(false).run(program);
+            for placement in [baseline::natural(program), result.placement] {
+                let generator =
+                    TraceGenerator::new(program, &placement).with_limits(tight_limits());
+                let mut ok = true;
+                generator.run(*seed, |addr| {
+                    ok &= addr % 4 == 0 && addr < placement.total_bytes();
+                });
+                assert!(ok);
+            }
+        },
+    );
 }
 
 /// Random word-aligned access traces confined to a 16 KB image.
-fn arb_trace() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(0u64..4096, 1..2000)
-        .prop_map(|v| v.into_iter().map(|w| w * 4).collect())
+fn gen_trace(rng: &mut Rng) -> Vec<u64> {
+    let len = rng.gen_range_inclusive(1, 1999);
+    (0..len).map(|_| rng.gen_below(4096) * 4).collect()
 }
 
 fn run_cache(config: CacheConfig, trace: &[u64]) -> impact::cache::CacheStats {
@@ -176,85 +211,105 @@ fn run_cache(config: CacheConfig, trace: &[u64]) -> impact::cache::CacheStats {
     cache.stats()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// LRU inclusion: a larger fully-associative LRU cache never misses
-    /// more, on any trace.
-    #[test]
-    fn lru_stack_property(trace in arb_trace()) {
+/// LRU inclusion: a larger fully-associative LRU cache never misses
+/// more, on any trace.
+#[test]
+fn lru_stack_property() {
+    forall(64, gen_trace, |trace| {
         let mut prev = u64::MAX;
         for size in [512u64, 1024, 2048, 4096] {
-            let s = run_cache(CacheConfig::fully_associative(size, 64), &trace);
-            prop_assert!(s.misses <= prev, "misses grew from {prev} at size {size}");
+            let s = run_cache(CacheConfig::fully_associative(size, 64), trace);
+            assert!(s.misses <= prev, "misses grew from {prev} at size {size}");
             prev = s.misses;
         }
-    }
+    });
+}
 
-    /// Partial loading and sectoring never generate more memory traffic
-    /// than whole-block fill, and never fewer misses.
-    #[test]
-    fn reduced_fills_bound_traffic(trace in arb_trace()) {
+/// Partial loading and sectoring never generate more memory traffic
+/// than whole-block fill, and never fewer misses.
+#[test]
+fn reduced_fills_bound_traffic() {
+    forall(64, gen_trace, |trace| {
         let base = CacheConfig::direct_mapped(2048, 64);
-        let full = run_cache(base, &trace);
-        for fill in [FillPolicy::Partial, FillPolicy::Sectored { sector_bytes: 8 }] {
-            let s = run_cache(base.with_fill(fill), &trace);
-            prop_assert!(s.words_fetched <= full.words_fetched, "{fill:?}");
-            prop_assert!(s.misses >= full.misses, "{fill:?}");
-            prop_assert_eq!(s.accesses, full.accesses);
+        let full = run_cache(base, trace);
+        for fill in [
+            FillPolicy::Partial,
+            FillPolicy::Sectored { sector_bytes: 8 },
+        ] {
+            let s = run_cache(base.with_fill(fill), trace);
+            assert!(s.words_fetched <= full.words_fetched, "{fill:?}");
+            assert!(s.misses >= full.misses, "{fill:?}");
+            assert_eq!(s.accesses, full.accesses);
         }
-    }
+    });
+}
 
-    /// A 1-way set-associative cache is exactly a direct-mapped cache.
-    #[test]
-    fn one_way_equals_direct_mapped(trace in arb_trace()) {
-        let direct = run_cache(CacheConfig::direct_mapped(1024, 32), &trace);
+/// A 1-way set-associative cache is exactly a direct-mapped cache.
+#[test]
+fn one_way_equals_direct_mapped() {
+    forall(64, gen_trace, |trace| {
+        let direct = run_cache(CacheConfig::direct_mapped(1024, 32), trace);
         let one_way = run_cache(
             CacheConfig::direct_mapped(1024, 32).with_associativity(Associativity::Ways(1)),
-            &trace,
+            trace,
         );
-        prop_assert_eq!(direct, one_way);
-    }
+        assert_eq!(direct, one_way);
+    });
+}
 
-    /// Basic sanity on every organization: misses never exceed accesses,
-    /// and full-block traffic is exactly misses x block words.
-    #[test]
-    fn stats_are_internally_consistent(
-        trace in arb_trace(),
-        size_pow in 9u32..13,
-        block_pow in 4u32..8,
-        ways in prop_oneof![
-            Just(Associativity::Direct),
-            Just(Associativity::Ways(2)),
-            Just(Associativity::Ways(4)),
-            Just(Associativity::Full)
-        ],
-    ) {
-        let size = 1u64 << size_pow;
-        let block = 1u64 << block_pow;
-        prop_assume!(block <= size);
-        let config = CacheConfig::direct_mapped(size, block).with_associativity(ways);
-        prop_assume!(config.validate().is_ok());
-        let s = run_cache(config, &trace);
-        prop_assert!(s.misses <= s.accesses);
-        prop_assert_eq!(s.words_fetched, s.misses * (block / 4));
-        prop_assert!(s.miss_ratio() <= 1.0);
-    }
-
-    /// More associativity at equal geometry never hurts... is FALSE in
-    /// general (LRU vs direct-mapped anomalies exist); what must hold is
-    /// that the fully-associative cache is at least as good as the
-    /// best-case for *this* trace class when the working set fits.
-    #[test]
-    fn fully_associative_fits_working_set(start in 0u64..64) {
-        // A looping working set of exactly 16 blocks in a 16-block cache:
-        // only cold misses, regardless of where the loop sits in memory.
-        let mut cache = Cache::new(CacheConfig::fully_associative(1024, 64));
-        for _ in 0..10 {
-            for b in 0..16u64 {
-                cache.access((start + b) * 64);
+/// Basic sanity on every organization: misses never exceed accesses,
+/// and full-block traffic is exactly misses x block words.
+#[test]
+fn stats_are_internally_consistent() {
+    forall(
+        64,
+        |rng| {
+            let trace = gen_trace(rng);
+            let size = 1u64 << (9 + rng.gen_below(4));
+            let block = 1u64 << (4 + rng.gen_below(4));
+            let ways = match rng.gen_below(4) {
+                0 => Associativity::Direct,
+                1 => Associativity::Ways(2),
+                2 => Associativity::Ways(4),
+                _ => Associativity::Full,
+            };
+            (trace, size, block, ways)
+        },
+        |(trace, size, block, ways)| {
+            if *block > *size {
+                return;
             }
-        }
-        prop_assert_eq!(cache.stats().misses, 16);
-    }
+            let config = CacheConfig::direct_mapped(*size, *block).with_associativity(*ways);
+            if config.validate().is_err() {
+                return;
+            }
+            let s = run_cache(config, trace);
+            assert!(s.misses <= s.accesses);
+            assert_eq!(s.words_fetched, s.misses * (block / 4));
+            assert!(s.miss_ratio() <= 1.0);
+        },
+    );
+}
+
+/// More associativity at equal geometry never hurts... is FALSE in
+/// general (LRU vs direct-mapped anomalies exist); what must hold is
+/// that the fully-associative cache is at least as good as the
+/// best-case for *this* trace class when the working set fits.
+#[test]
+fn fully_associative_fits_working_set() {
+    forall(
+        64,
+        |rng| rng.gen_below(64),
+        |&start| {
+            // A looping working set of exactly 16 blocks in a 16-block cache:
+            // only cold misses, regardless of where the loop sits in memory.
+            let mut cache = Cache::new(CacheConfig::fully_associative(1024, 64));
+            for _ in 0..10 {
+                for b in 0..16u64 {
+                    cache.access((start + b) * 64);
+                }
+            }
+            assert_eq!(cache.stats().misses, 16);
+        },
+    );
 }
