@@ -1,0 +1,48 @@
+//! SimSession benches: the shared memoizing session vs standalone
+//! per-table runs, serial vs parallel execution.
+//!
+//! The interesting numbers are the ratios: `shared_session_sim_tables`
+//! streams each unique trace once for all six simulation tables, while
+//! `standalone_sim_tables` pays one fresh stream per table.
+
+use impact_bench::prepared;
+use impact_experiments::prepare::Prepared;
+use impact_experiments::session::SimSession;
+use impact_experiments::{runner, tables};
+use impact_support::bench::Harness;
+use std::hint::black_box;
+
+fn main() {
+    let prepared: Vec<Prepared> = vec![prepared("wc"), prepared("cmp")];
+    // The six tables that demand cache simulation on shared keys.
+    let sim_tables: Vec<u8> = vec![1, 5, 6, 7, 8, 14];
+    let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let group = Harness::new("session", 500);
+    group.bench("shared_session_sim_tables", || {
+        let mut session = SimSession::new();
+        black_box(runner::run_tables(
+            &mut session,
+            black_box(&prepared),
+            &sim_tables,
+        ))
+    });
+    group.bench("standalone_sim_tables", || {
+        black_box((
+            tables::t1::run(black_box(&prepared)),
+            tables::t5::run(black_box(&prepared)),
+            tables::t6::run(black_box(&prepared)),
+            tables::t7::run(black_box(&prepared)),
+            tables::t8::run(black_box(&prepared)),
+            tables::assoc::run(black_box(&prepared)),
+        ))
+    });
+    group.bench("shared_session_parallel", || {
+        let mut session = SimSession::with_jobs(jobs);
+        black_box(runner::run_tables(
+            &mut session,
+            black_box(&prepared),
+            &sim_tables,
+        ))
+    });
+}

@@ -115,8 +115,18 @@ impl Cache {
         }
     }
 
-    /// Handles one access; returns `(missed, words_fetched)`.
+    /// Handles one demand access; returns `(missed, words_fetched)`.
     fn lookup(&mut self, addr: u64) -> (bool, u64) {
+        self.probe(addr, true)
+    }
+
+    /// Handles one access; returns `(missed, words_fetched)`.
+    ///
+    /// `demand` controls recency: only demand accesses refresh a resident
+    /// block's LRU stamp. Prefetch probes must be recency-neutral on hits,
+    /// or a probed block is promoted as if the program had touched it and
+    /// the victim choice skews toward genuinely hot blocks.
+    fn probe(&mut self, addr: u64, demand: bool) -> (bool, u64) {
         let block_addr = addr / self.config.block_bytes;
         let set = (block_addr % self.sets) as usize;
         let tag = block_addr / self.sets;
@@ -128,7 +138,7 @@ impl Cache {
 
         // Tag match?
         if let Some(way) = ways.iter_mut().find(|w| w.tag == tag) {
-            if matches!(self.config.replacement, crate::Replacement::Lru) {
+            if demand && matches!(self.config.replacement, crate::Replacement::Lru) {
                 way.lru = self.stamp;
             }
             if way.valid & (1 << word_in_block) != 0 {
@@ -210,12 +220,13 @@ impl Cache {
 impl Cache {
     /// Fills the block containing `addr` as a *prefetch*: the transfer
     /// counts toward memory traffic, but no access, miss, or execution
-    /// run is recorded. Returns `(was_absent, words_fetched)`.
+    /// run is recorded, and a probe that hits a resident block leaves
+    /// its recency untouched. Returns `(was_absent, words_fetched)`.
     ///
     /// Used by prefetchers layered on top of the cache; demand traffic
     /// should go through [`AccessSink::access`].
     pub fn prefetch_fill(&mut self, addr: u64) -> (bool, u64) {
-        let (missed, fetched) = self.lookup(addr);
+        let (missed, fetched) = self.probe(addr, false);
         self.stats.words_fetched += fetched;
         (missed, fetched)
     }
@@ -450,6 +461,43 @@ mod tests {
             run(crate::Replacement::Lru),
             run(crate::Replacement::Random)
         );
+    }
+
+    #[test]
+    fn prefetch_probe_of_resident_block_leaves_it_the_lru_victim() {
+        // One 2-way set (128 B / 64 B blocks / 2 ways): blocks A=0,
+        // B=64, C=128 all collide. Demand-touch A then B, so A is LRU.
+        // A prefetch probe of A must NOT promote it: C still evicts A.
+        let cfg = CacheConfig::direct_mapped(128, 64).with_associativity(Associativity::Ways(2));
+        let mut c = Cache::new(cfg);
+        c.access(0); // A
+        c.access(64); // B — A is now least recently *demanded*
+        let (absent, fetched) = c.prefetch_fill(0); // probe resident A
+        assert!(!absent, "A is resident; the probe must hit");
+        assert_eq!(fetched, 0, "a hit probe transfers nothing");
+        c.access(128); // C must evict A, the true LRU victim
+        c.access(64); // B survived: hit
+        assert_eq!(c.stats().misses, 3);
+        c.access(0); // A was evicted: miss proves the probe didn't refresh it
+        let s = c.stats();
+        assert_eq!(
+            s.misses, 4,
+            "prefetch probe promoted A as if demand-touched"
+        );
+        assert_eq!(s.accesses, 5, "probes are not demand accesses");
+    }
+
+    #[test]
+    fn prefetch_fill_of_absent_block_installs_it() {
+        let mut c = Cache::new(CacheConfig::direct_mapped(1024, 64));
+        let (absent, fetched) = c.prefetch_fill(0);
+        assert!(absent);
+        assert_eq!(fetched, 16);
+        c.access(0); // already prefetched: hit
+        let s = c.stats();
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.accesses, 1);
+        assert_eq!(s.words_fetched, 16, "the prefetch transfer still counts");
     }
 
     #[test]

@@ -1,20 +1,35 @@
 //! `repro` — regenerate any table of the ISCA 1989 IMPACT-I paper.
 //!
 //! ```text
-//! repro [table1 .. table9 | ablation | paging | estimate | variability | assoc | minprob | all] [--fast] [--extended] [--json DIR]
+//! repro [table1 .. table9 | ablation | paging | estimate | variability | assoc | minprob | all]
+//!       [--fast] [--extended] [--json DIR] [--jobs N] [--metrics FILE]
 //! ```
 //!
 //! * `--fast` caps walk lengths (quick smoke run; ratios are noisier).
 //! * `--json DIR` additionally writes each table's rows as `tableN.json`.
+//! * `--jobs N` bounds the worker threads for preparation and simulation
+//!   (default: the machine's available parallelism). Table output is
+//!   byte-identical for every `N`.
+//! * `--metrics FILE` writes the evaluation-engine metrics (traces
+//!   streamed vs. memo-served, instructions/sec, per-table timing) as
+//!   JSON; a summary always goes to stderr.
+//!
+//! All selected tables share one [`SimSession`], so every unique
+//! evaluation trace is streamed exactly once per run no matter how many
+//! tables demand it.
+//!
+//! [`SimSession`]: impact_experiments::session::SimSession
 
 use std::process::ExitCode;
 
-use impact_experiments::prepare::{prepare_all, prepare_all_extended, Budget, Prepared};
-use impact_experiments::tables;
+use impact_experiments::prepare::{prepare_many_jobs, Budget};
+use impact_experiments::runner;
+use impact_experiments::session::SimSession;
+use impact_support::ToJson;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [table1..table9 | ablation | paging | estimate | variability | assoc | minprob | all] [--fast] [--extended] [--json DIR]"
+        "usage: repro [table1..table9 | ablation | paging | estimate | variability | assoc | minprob | all] [--fast] [--extended] [--json DIR] [--jobs N] [--metrics FILE]"
     );
     ExitCode::FAILURE
 }
@@ -24,6 +39,8 @@ fn main() -> ExitCode {
     let mut fast = false;
     let mut extended = false;
     let mut json_dir: Option<String> = None;
+    let mut metrics_file: Option<String> = None;
+    let mut jobs: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -34,7 +51,15 @@ fn main() -> ExitCode {
                 Some(dir) => json_dir = Some(dir),
                 None => return usage(),
             },
-            "all" => selected.extend(1..=15),
+            "--metrics" => match args.next() {
+                Some(file) => metrics_file = Some(file),
+                None => return usage(),
+            },
+            "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => return usage(),
+            },
+            "all" => selected.extend(runner::TABLE_IDS),
             "ablation" => selected.push(10),
             "paging" => selected.push(11),
             "estimate" => selected.push(12),
@@ -54,22 +79,25 @@ fn main() -> ExitCode {
     selected.sort_unstable();
     selected.dedup();
 
+    let jobs = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
     let budget = if fast {
         Budget::fast()
     } else {
         Budget::default()
     };
+    let mut workloads = impact_workloads::all();
+    if extended {
+        workloads.extend(impact_workloads::extended());
+    }
     eprintln!(
-        "preparing {} benchmarks ({} budget)...",
-        if extended { 18 } else { 10 },
+        "preparing {} benchmarks ({} budget, {jobs} jobs)...",
+        workloads.len(),
         if fast { "fast" } else { "full" }
     );
     let t0 = std::time::Instant::now();
-    let prepared = if extended {
-        prepare_all_extended(&budget)
-    } else {
-        prepare_all(&budget)
-    };
+    let prepared = prepare_many_jobs(&workloads, &budget, jobs);
     eprintln!("prepared in {:.1?}", t0.elapsed());
 
     if let Some(dir) = &json_dir {
@@ -79,98 +107,26 @@ fn main() -> ExitCode {
         }
     }
 
-    for n in selected {
-        let t = std::time::Instant::now();
-        let (text, json) = run_table(n, &prepared);
-        println!("{text}");
-        let label = match n {
-            10 => "ablation".to_owned(),
-            11 => "paging".to_owned(),
-            12 => "estimate".to_owned(),
-            13 => "variability".to_owned(),
-            14 => "assoc".to_owned(),
-            15 => "minprob".to_owned(),
-            _ => format!("table{n}"),
-        };
-        eprintln!("{label} in {:.1?}\n", t.elapsed());
+    let mut session = SimSession::with_jobs(jobs);
+    let outputs = runner::run_tables(&mut session, &prepared, &selected);
+    for out in &outputs {
+        println!("{}", out.text);
         if let Some(dir) = &json_dir {
-            let path = format!("{dir}/{label}.json");
-            if let Err(e) = std::fs::write(&path, json) {
+            let path = format!("{dir}/{}.json", out.label);
+            if let Err(e) = std::fs::write(&path, &out.json) {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }
     }
-    ExitCode::SUCCESS
-}
 
-/// Runs table `n`, returning `(rendered text, rows as JSON)`.
-fn run_table(n: u8, prepared: &[Prepared]) -> (String, String) {
-    fn pack<R: impact_support::ToJson>(text: String, rows: &[R]) -> (String, String) {
-        let json = impact_support::json::rows_to_json_pretty(rows);
-        (text, json)
+    let metrics = session.metrics();
+    eprintln!("{}", metrics.render_summary());
+    if let Some(file) = &metrics_file {
+        if let Err(e) = std::fs::write(file, metrics.to_json().to_string_pretty()) {
+            eprintln!("cannot write {file}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
-    match n {
-        1 => {
-            let rows = tables::t1::run(prepared);
-            pack(tables::t1::render(&rows), &rows)
-        }
-        2 => {
-            let rows = tables::t2::run(prepared);
-            pack(tables::t2::render(&rows), &rows)
-        }
-        3 => {
-            let rows = tables::t3::run(prepared);
-            pack(tables::t3::render(&rows), &rows)
-        }
-        4 => {
-            let rows = tables::t4::run(prepared);
-            pack(tables::t4::render(&rows), &rows)
-        }
-        5 => {
-            let rows = tables::t5::run(prepared);
-            pack(tables::t5::render(&rows), &rows)
-        }
-        6 => {
-            let rows = tables::t6::run(prepared);
-            pack(tables::t6::render(&rows), &rows)
-        }
-        7 => {
-            let rows = tables::t7::run(prepared);
-            pack(tables::t7::render(&rows), &rows)
-        }
-        8 => {
-            let rows = tables::t8::run(prepared);
-            pack(tables::t8::render(&rows), &rows)
-        }
-        9 => {
-            let rows = tables::t9::run(prepared);
-            pack(tables::t9::render(&rows), &rows)
-        }
-        10 => {
-            let rows = tables::ablation::run(prepared);
-            pack(tables::ablation::render(&rows), &rows)
-        }
-        11 => {
-            let rows = tables::paging::run(prepared);
-            pack(tables::paging::render(&rows), &rows)
-        }
-        12 => {
-            let rows = tables::estimate_validation::run(prepared);
-            pack(tables::estimate_validation::render(&rows), &rows)
-        }
-        13 => {
-            let rows = tables::variability::run(prepared);
-            pack(tables::variability::render(&rows), &rows)
-        }
-        14 => {
-            let rows = tables::assoc::run(prepared);
-            pack(tables::assoc::render(&rows), &rows)
-        }
-        15 => {
-            let rows = tables::min_prob::run(prepared);
-            pack(tables::min_prob::render(&rows), &rows)
-        }
-        _ => unreachable!("selection is validated in main"),
-    }
+    ExitCode::SUCCESS
 }

@@ -36,6 +36,8 @@
 pub mod estimate;
 pub mod fmt;
 pub mod prepare;
+pub mod runner;
+pub mod session;
 pub mod sim;
 pub mod tables;
 pub mod viz;

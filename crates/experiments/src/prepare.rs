@@ -108,16 +108,14 @@ pub fn prepare(workload: &Workload, budget: &Budget) -> Prepared {
 /// pipeline is single-threaded and benchmarks are independent).
 #[must_use]
 pub fn prepare_many(workloads: &[Workload], budget: &Budget) -> Vec<Prepared> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|w| scope.spawn(move || prepare(w, budget)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("prepare threads do not panic"))
-            .collect()
-    })
+    prepare_many_jobs(workloads, budget, workloads.len())
+}
+
+/// Like [`prepare_many`], but bounded to `jobs` worker threads (the
+/// `repro --jobs N` path; results stay in input order).
+#[must_use]
+pub fn prepare_many_jobs(workloads: &[Workload], budget: &Budget, jobs: usize) -> Vec<Prepared> {
+    impact_support::parallel_map(jobs, workloads.iter().collect(), |w| prepare(w, budget))
 }
 
 /// Prepares all ten benchmarks.
@@ -136,7 +134,6 @@ pub fn prepare_all_extended(budget: &Budget) -> Vec<Prepared> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -144,9 +141,26 @@ mod tests {
     fn prepare_wc_produces_consistent_artifacts() {
         let w = impact_workloads::by_name("wc").unwrap();
         let p = prepare(&w, &Budget::fast());
-        assert!(p.result.placement.is_valid_for(&p.result.program));
-        assert!(p.baseline.is_valid_for(&p.baseline_program));
+        let opt = impact_analyze::verify_placement(&p.result.program, &p.result.placement);
+        assert!(opt.is_clean(), "{}", opt.render());
+        let base = impact_analyze::verify_placement(&p.baseline_program, &p.baseline);
+        assert!(base.is_clean(), "{}", base.render());
         assert!(p.result.effective_static_bytes() <= p.result.total_static_bytes());
+    }
+
+    #[test]
+    fn prepare_many_jobs_matches_serial() {
+        let workloads: Vec<_> = ["wc", "cmp"]
+            .iter()
+            .map(|n| impact_workloads::by_name(n).unwrap())
+            .collect();
+        let serial = prepare_many_jobs(&workloads, &Budget::fast(), 1);
+        let parallel = prepare_many_jobs(&workloads, &Budget::fast(), 4);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.workload.spec.name, p.workload.spec.name);
+            assert_eq!(s.result.placement, p.result.placement);
+            assert_eq!(s.result.program, p.result.program);
+        }
     }
 
     #[test]

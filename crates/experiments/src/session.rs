@@ -1,0 +1,876 @@
+//! `SimSession` — the shared, parallel, memoizing evaluation engine
+//! behind every table runner.
+//!
+//! The paper applies "the entire execution traces ... to the cache
+//! simulator"; fifteen table runners each need cache statistics over the
+//! *same* handful of evaluation traces, differing only in which
+//! [`CacheConfig`]s they care about. Re-streaming a multi-million-access
+//! trace per table is pure waste, so the session works in three phases:
+//!
+//! 1. **Plan** — table runners [`request`](SimSession::request) cache
+//!    statistics (or [`request_sink`](SimSession::request_sink) a custom
+//!    [`AccessSink`]) for a `(program, placement, seed, limits)` key and
+//!    receive a handle. Identical keys are interned — detected by a
+//!    structural fingerprint and confirmed by full equality — and the
+//!    requested configurations accumulate into one deduplicated union
+//!    per key.
+//! 2. **Execute** — [`execute`](SimSession::execute) streams every
+//!    pending trace exactly once, fanning keys across up to
+//!    [`jobs`](SimSession::jobs) scoped threads
+//!    ([`impact_support::parallel_map`]); each stream drives a single
+//!    [`CacheBank`] holding the key's config union plus any attached
+//!    sinks. Results are stored per key, in deterministic order — with
+//!    one job the execution is exactly today's serial loop.
+//! 3. **Serve** — [`stats`](SimSession::stats),
+//!    [`instructions`](SimSession::instructions) and
+//!    [`take_sink`](SimSession::take_sink) hand results back through the
+//!    handles; every duplicate demand is served from the memo.
+//!
+//! [`SimMetrics`] exposes the observability layer: traces streamed vs.
+//! memo-served, instructions simulated, and per-table / per-simulation
+//! wall-clock with instructions-per-second rates.
+
+use std::any::Any;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+use impact_cache::{AccessSink, CacheBank, CacheConfig, CacheStats};
+use impact_ir::{Program, Terminator};
+use impact_layout::Placement;
+use impact_profile::ExecLimits;
+use impact_support::json::{Json, ToJson};
+use impact_trace::TraceGenerator;
+
+/// Ticket for one [`SimSession::request`]: redeem with
+/// [`SimSession::stats`] / [`SimSession::instructions`] after
+/// [`SimSession::execute`].
+#[derive(Debug, Clone)]
+pub struct SimHandle {
+    key: usize,
+    slots: Vec<usize>,
+}
+
+/// Ticket for one [`SimSession::request_sink`]: redeem with
+/// [`SimSession::take_sink`] after [`SimSession::execute`].
+#[derive(Debug, Clone)]
+pub struct SinkHandle {
+    key: usize,
+    slot: usize,
+}
+
+/// Object-safe adapter so heterogeneous sinks (prefetchers, victim
+/// caches, paging simulators, ...) can ride one trace stream and be
+/// recovered by concrete type afterwards.
+trait SessionSink: Send {
+    fn access_addr(&mut self, addr: u64);
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<S: AccessSink + Send + 'static> SessionSink for S {
+    fn access_addr(&mut self, addr: u64) {
+        self.access(addr);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// One interned evaluation trace: the key identity, the union of
+/// requested cache configurations, attached sinks, and (after execution)
+/// the per-config statistics.
+struct KeyEntry {
+    program: Program,
+    placement: Placement,
+    seed: u64,
+    limits: ExecLimits,
+    fingerprint: u64,
+    /// Union of requested configurations, deduplicated, request order.
+    configs: Vec<CacheConfig>,
+    /// Statistics for `configs[..simulated]`.
+    stats: Vec<CacheStats>,
+    /// Number of leading configs already simulated.
+    simulated: usize,
+    /// Attached sinks (`None` once taken back by the requester).
+    sinks: Vec<Option<Box<dyn SessionSink>>>,
+    /// Number of leading sinks already streamed.
+    streamed_sinks: usize,
+    /// Trace length, once streamed at least once.
+    instructions: Option<u64>,
+}
+
+impl KeyEntry {
+    fn pending(&self) -> bool {
+        self.simulated < self.configs.len()
+            || self.streamed_sinks < self.sinks.len()
+            || self.instructions.is_none()
+    }
+}
+
+/// One trace stream performed by [`SimSession::execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRecord {
+    /// Key fingerprint (hex), stable within a process run.
+    pub fingerprint: String,
+    /// Evaluation input seed of the streamed trace.
+    pub seed: u64,
+    /// Cache configurations simulated during this stream.
+    pub configs: u64,
+    /// Extra sinks driven during this stream.
+    pub sinks: u64,
+    /// Instructions streamed.
+    pub instructions: u64,
+    /// Wall-clock nanoseconds spent streaming.
+    pub nanos: u64,
+}
+
+impl SimRecord {
+    /// Simulated instructions per second of this stream.
+    #[must_use]
+    pub fn instrs_per_sec(&self) -> f64 {
+        per_sec(self.instructions, self.nanos)
+    }
+}
+
+/// Per-table plan/render timing recorded by the table driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRecord {
+    /// Table label (`table1` ... `minprob`).
+    pub label: String,
+    /// Nanoseconds spent planning (includes per-table pipeline re-runs).
+    pub plan_nanos: u64,
+    /// Nanoseconds spent assembling rows and rendering text/JSON.
+    pub render_nanos: u64,
+}
+
+/// Observability snapshot of a [`SimSession`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimMetrics {
+    /// Worker-thread cap the session executes with.
+    pub jobs: u64,
+    /// `request`/`request_sink` calls served.
+    pub requests: u64,
+    /// Distinct `(program, placement, seed, limits)` keys interned.
+    pub unique_traces: u64,
+    /// Trace streams actually performed.
+    pub traces_streamed: u64,
+    /// Streams of a key that had already been streamed (0 when every
+    /// demand was planned before the first `execute`).
+    pub restreams: u64,
+    /// Requests that hit an already-interned key.
+    pub memo_key_hits: u64,
+    /// Config results requested across all `request` calls.
+    pub configs_requested: u64,
+    /// Distinct configs actually simulated (union sizes summed).
+    pub configs_simulated: u64,
+    /// Config results served from the memo instead of a new simulation.
+    pub memo_served: u64,
+    /// Total instructions streamed.
+    pub instructions: u64,
+    /// Total nanoseconds across streams (summed over threads).
+    pub sim_nanos: u64,
+    /// Wall-clock nanoseconds inside `execute`.
+    pub wall_nanos: u64,
+    /// One record per trace stream.
+    pub simulations: Vec<SimRecord>,
+    /// One record per table run through the session (filled by the
+    /// `runner` driver).
+    pub tables: Vec<TableRecord>,
+}
+
+impl SimMetrics {
+    /// Aggregate simulated instructions per second (sim time, summed
+    /// across threads).
+    #[must_use]
+    pub fn instrs_per_sec(&self) -> f64 {
+        per_sec(self.instructions, self.sim_nanos)
+    }
+
+    /// Multi-line human summary (the `repro` stderr report).
+    #[must_use]
+    pub fn render_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sim: {} unique traces, {} streamed ({} re-streams), {} memo key hits",
+            self.unique_traces, self.traces_streamed, self.restreams, self.memo_key_hits
+        );
+        let _ = writeln!(
+            out,
+            "sim: {} config results requested, {} simulated, {} memo-served",
+            self.configs_requested, self.configs_simulated, self.memo_served
+        );
+        let _ = write!(
+            out,
+            "sim: {} instructions in {:.2?} sim time ({:.2}M instr/s, {} jobs, {:.2?} wall)",
+            self.instructions,
+            std::time::Duration::from_nanos(self.sim_nanos),
+            self.instrs_per_sec() / 1e6,
+            self.jobs,
+            std::time::Duration::from_nanos(self.wall_nanos),
+        );
+        out
+    }
+}
+
+fn per_sec(count: u64, nanos: u64) -> f64 {
+    if nanos == 0 {
+        0.0
+    } else {
+        count as f64 * 1e9 / nanos as f64
+    }
+}
+
+impl ToJson for SimRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("fingerprint".into(), self.fingerprint.to_json()),
+            ("seed".into(), self.seed.to_json()),
+            ("configs".into(), self.configs.to_json()),
+            ("sinks".into(), self.sinks.to_json()),
+            ("instructions".into(), self.instructions.to_json()),
+            ("nanos".into(), self.nanos.to_json()),
+            ("instrs_per_sec".into(), self.instrs_per_sec().to_json()),
+        ])
+    }
+}
+
+impl ToJson for TableRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".into(), self.label.to_json()),
+            ("plan_nanos".into(), self.plan_nanos.to_json()),
+            ("render_nanos".into(), self.render_nanos.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SimMetrics {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("jobs".into(), self.jobs.to_json()),
+            ("requests".into(), self.requests.to_json()),
+            ("unique_traces".into(), self.unique_traces.to_json()),
+            ("traces_streamed".into(), self.traces_streamed.to_json()),
+            ("restreams".into(), self.restreams.to_json()),
+            ("memo_key_hits".into(), self.memo_key_hits.to_json()),
+            ("configs_requested".into(), self.configs_requested.to_json()),
+            ("configs_simulated".into(), self.configs_simulated.to_json()),
+            ("memo_served".into(), self.memo_served.to_json()),
+            ("instructions".into(), self.instructions.to_json()),
+            ("sim_nanos".into(), self.sim_nanos.to_json()),
+            ("wall_nanos".into(), self.wall_nanos.to_json()),
+            ("instrs_per_sec".into(), self.instrs_per_sec().to_json()),
+            ("simulations".into(), self.simulations.to_json()),
+            ("tables".into(), self.tables.to_json()),
+        ])
+    }
+}
+
+/// The shared, parallel, memoizing evaluation engine. See the module
+/// docs for the plan / execute / serve lifecycle.
+pub struct SimSession {
+    jobs: usize,
+    keys: Vec<KeyEntry>,
+    /// Fingerprint → candidate key indices (equality-confirmed on use).
+    by_fp: HashMap<u64, Vec<usize>>,
+    requests: u64,
+    memo_key_hits: u64,
+    configs_requested: u64,
+    memo_served: u64,
+    traces_streamed: u64,
+    restreams: u64,
+    instructions: u64,
+    sim_nanos: u64,
+    wall_nanos: u64,
+    simulations: Vec<SimRecord>,
+    tables: Vec<TableRecord>,
+}
+
+impl std::fmt::Debug for SimSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSession")
+            .field("jobs", &self.jobs)
+            .field("keys", &self.keys.len())
+            .field("requests", &self.requests)
+            .field("traces_streamed", &self.traces_streamed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for SimSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimSession {
+    /// A serial session (one worker thread).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_jobs(1)
+    }
+
+    /// A session that executes with up to `jobs` worker threads
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn with_jobs(jobs: usize) -> Self {
+        Self {
+            jobs: jobs.max(1),
+            keys: Vec::new(),
+            by_fp: HashMap::new(),
+            requests: 0,
+            memo_key_hits: 0,
+            configs_requested: 0,
+            memo_served: 0,
+            traces_streamed: 0,
+            restreams: 0,
+            instructions: 0,
+            sim_nanos: 0,
+            wall_nanos: 0,
+            simulations: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// The worker-thread cap used by [`SimSession::execute`] (and
+    /// available to plan phases that parallelize their own preparation).
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Registers a demand for the statistics of `configs` over the
+    /// evaluation trace of `(program, placement)` under `seed` and
+    /// `limits`.
+    ///
+    /// Identical keys share one trace stream; identical configs within a
+    /// key share one simulated cache. The returned handle redeems the
+    /// statistics in the requested config order after
+    /// [`SimSession::execute`].
+    pub fn request(
+        &mut self,
+        program: &Program,
+        placement: &Placement,
+        seed: u64,
+        limits: ExecLimits,
+        configs: &[CacheConfig],
+    ) -> SimHandle {
+        let key = self.intern(program, placement, seed, limits);
+        self.requests += 1;
+        self.configs_requested += configs.len() as u64;
+        let entry = &mut self.keys[key];
+        let mut memo = 0u64;
+        let slots = configs
+            .iter()
+            .map(|c| {
+                if let Some(i) = entry.configs.iter().position(|e| e == c) {
+                    memo += 1;
+                    i
+                } else {
+                    entry.configs.push(*c);
+                    entry.configs.len() - 1
+                }
+            })
+            .collect();
+        self.memo_served += memo;
+        SimHandle { key, slots }
+    }
+
+    /// Attaches a custom [`AccessSink`] to the key's trace stream; the
+    /// sink observes every fetch address exactly once and is recovered
+    /// with [`SimSession::take_sink`] after execution.
+    pub fn request_sink<S: AccessSink + Send + 'static>(
+        &mut self,
+        program: &Program,
+        placement: &Placement,
+        seed: u64,
+        limits: ExecLimits,
+        sink: S,
+    ) -> SinkHandle {
+        let key = self.intern(program, placement, seed, limits);
+        self.requests += 1;
+        let entry = &mut self.keys[key];
+        entry.sinks.push(Some(Box::new(sink)));
+        SinkHandle {
+            key,
+            slot: entry.sinks.len() - 1,
+        }
+    }
+
+    /// Interns the key, returning its index.
+    fn intern(
+        &mut self,
+        program: &Program,
+        placement: &Placement,
+        seed: u64,
+        limits: ExecLimits,
+    ) -> usize {
+        let fp = fingerprint(program, placement, seed, limits);
+        if let Some(candidates) = self.by_fp.get(&fp) {
+            for &i in candidates {
+                let k = &self.keys[i];
+                // The fingerprint is an accelerator; full equality is
+                // what guarantees distinct placements get distinct keys.
+                if k.seed == seed
+                    && k.limits == limits
+                    && k.placement == *placement
+                    && k.program == *program
+                {
+                    self.memo_key_hits += 1;
+                    return i;
+                }
+            }
+        }
+        let i = self.keys.len();
+        self.keys.push(KeyEntry {
+            program: program.clone(),
+            placement: placement.clone(),
+            seed,
+            limits,
+            fingerprint: fp,
+            configs: Vec::new(),
+            stats: Vec::new(),
+            simulated: 0,
+            sinks: Vec::new(),
+            streamed_sinks: 0,
+            instructions: None,
+        });
+        self.by_fp.entry(fp).or_default().push(i);
+        i
+    }
+
+    /// Streams every pending trace exactly once, fanning keys across up
+    /// to [`SimSession::jobs`] scoped threads. Results land in
+    /// deterministic (insertion) order regardless of thread scheduling;
+    /// with one job this is a plain serial loop.
+    ///
+    /// Keys that gained configs or sinks *after* already being streamed
+    /// are re-streamed for the new demands only (counted as
+    /// [`SimMetrics::restreams`]); planning all demands before the first
+    /// `execute` keeps every trace at exactly one stream.
+    pub fn execute(&mut self) {
+        // One pending key's mutable pieces: index, a fresh bank over its
+        // not-yet-simulated configs, and its not-yet-streamed sinks.
+        type PendingWork = (usize, CacheBank, Vec<Box<dyn SessionSink>>);
+
+        let wall = Instant::now();
+        // Phase 1: pull the mutable pieces (fresh banks, pending sinks)
+        // out of each pending key.
+        let mut taken: Vec<PendingWork> = Vec::new();
+        for (i, k) in self.keys.iter_mut().enumerate() {
+            if !k.pending() {
+                continue;
+            }
+            let bank = CacheBank::new(k.configs[k.simulated..].iter().copied());
+            let sinks: Vec<Box<dyn SessionSink>> = k.sinks[k.streamed_sinks..]
+                .iter_mut()
+                .map(|s| s.take().expect("pending sinks cannot have been taken"))
+                .collect();
+            taken.push((i, bank, sinks));
+        }
+        if taken.is_empty() {
+            return;
+        }
+
+        // Phase 2: stream each pending key once, in parallel. Work items
+        // carry shared references to their key's program/placement so the
+        // closure never touches the (non-`Sync`) sink storage.
+        let work: Vec<_> = taken
+            .into_iter()
+            .map(|(i, bank, sinks)| {
+                let k = &self.keys[i];
+                (i, &k.program, &k.placement, k.seed, k.limits, bank, sinks)
+            })
+            .collect();
+        let results = impact_support::parallel_map(
+            self.jobs,
+            work,
+            |(i, program, placement, seed, limits, mut bank, mut sinks)| {
+                let t0 = Instant::now();
+                let gen = TraceGenerator::new(program, placement).with_limits(limits);
+                let summary = gen.run(seed, |addr| {
+                    bank.access(addr);
+                    for s in &mut sinks {
+                        s.access_addr(addr);
+                    }
+                });
+                let nanos = t0.elapsed().as_nanos() as u64;
+                (i, bank, sinks, summary.instructions, nanos)
+            },
+        );
+
+        // Phase 3: file results back, serially, in key order.
+        for (i, bank, sinks, instructions, nanos) in results {
+            let k = &mut self.keys[i];
+            self.traces_streamed += 1;
+            if k.instructions.is_some() {
+                self.restreams += 1;
+            } else {
+                self.instructions += instructions;
+            }
+            self.sim_nanos += nanos;
+            self.simulations.push(SimRecord {
+                fingerprint: format!("{:016x}", k.fingerprint),
+                seed: k.seed,
+                configs: (k.configs.len() - k.simulated) as u64,
+                sinks: sinks.len() as u64,
+                instructions,
+                nanos,
+            });
+            k.stats.extend(bank.stats());
+            k.simulated = k.configs.len();
+            for (slot, sink) in k.sinks[k.streamed_sinks..].iter_mut().zip(sinks) {
+                *slot = Some(sink);
+            }
+            k.streamed_sinks = k.sinks.len();
+            k.instructions = Some(instructions);
+        }
+        self.wall_nanos += wall.elapsed().as_nanos() as u64;
+    }
+
+    /// Statistics for a request, in its requested config order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's key has not been executed yet.
+    #[must_use]
+    pub fn stats(&self, handle: &SimHandle) -> Vec<CacheStats> {
+        let k = &self.keys[handle.key];
+        handle
+            .slots
+            .iter()
+            .map(|&s| {
+                assert!(s < k.simulated, "call execute() before reading stats");
+                k.stats[s]
+            })
+            .collect()
+    }
+
+    /// Trace length (instructions streamed) of a request's key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's key has not been executed yet.
+    #[must_use]
+    pub fn instructions(&self, handle: &SimHandle) -> u64 {
+        self.keys[handle.key]
+            .instructions
+            .expect("call execute() before reading the trace length")
+    }
+
+    /// [`SimSession::stats`] and [`SimSession::instructions`] in one
+    /// call — the session counterpart of `sim::simulate_counted`.
+    #[must_use]
+    pub fn counted(&self, handle: &SimHandle) -> (Vec<CacheStats>, u64) {
+        (self.stats(handle), self.instructions(handle))
+    }
+
+    /// Recovers a sink attached with [`SimSession::request_sink`], after
+    /// its trace has been streamed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sink has not been streamed yet, was already taken,
+    /// or `S` is not its concrete type.
+    #[must_use]
+    pub fn take_sink<S: AccessSink + Send + 'static>(&mut self, handle: &SinkHandle) -> S {
+        let k = &mut self.keys[handle.key];
+        assert!(
+            handle.slot < k.streamed_sinks,
+            "call execute() before taking a sink"
+        );
+        let sink = k.sinks[handle.slot].take().expect("sink was already taken");
+        *sink
+            .into_any()
+            .downcast::<S>()
+            .expect("take_sink called with the wrong concrete type")
+    }
+
+    /// Records one table's plan/render timing (the `runner` driver calls
+    /// this; it feeds the per-table metrics).
+    pub fn record_table(&mut self, label: &str, plan_nanos: u64, render_nanos: u64) {
+        self.tables.push(TableRecord {
+            label: label.to_owned(),
+            plan_nanos,
+            render_nanos,
+        });
+    }
+
+    /// Snapshot of the session's observability counters.
+    #[must_use]
+    pub fn metrics(&self) -> SimMetrics {
+        SimMetrics {
+            jobs: self.jobs as u64,
+            requests: self.requests,
+            unique_traces: self.keys.len() as u64,
+            traces_streamed: self.traces_streamed,
+            restreams: self.restreams,
+            memo_key_hits: self.memo_key_hits,
+            configs_requested: self.configs_requested,
+            configs_simulated: self.keys.iter().map(|k| k.simulated as u64).sum(),
+            memo_served: self.memo_served,
+            instructions: self.instructions,
+            sim_nanos: self.sim_nanos,
+            wall_nanos: self.wall_nanos,
+            simulations: self.simulations.clone(),
+            tables: self.tables.clone(),
+        }
+    }
+}
+
+/// Structural fingerprint of an evaluation-trace key.
+///
+/// Covers everything the trace depends on: program shape (block sizes,
+/// terminators, branch biases), the placement's byte addresses, the
+/// input seed, and the execution limits. Freshly constructed placements
+/// (code scaling, `MIN_PROB` sweeps, ablation ladders) therefore get
+/// distinct fingerprints unless they are genuinely identical — and key
+/// identity is always confirmed by full structural equality, so a hash
+/// collision can never alias two different traces.
+#[must_use]
+pub fn fingerprint(program: &Program, placement: &Placement, seed: u64, limits: ExecLimits) -> u64 {
+    // DefaultHasher::new() uses fixed keys: deterministic per process.
+    let mut h = DefaultHasher::new();
+    program.function_count().hash(&mut h);
+    program.entry().index().hash(&mut h);
+    for (fid, func) in program.functions() {
+        func.name().hash(&mut h);
+        func.entry().index().hash(&mut h);
+        func.block_count().hash(&mut h);
+        for (bid, block) in func.blocks() {
+            block.instr_count().hash(&mut h);
+            hash_terminator(block.terminator(), &mut h);
+            placement.try_addr(fid, bid).hash(&mut h);
+        }
+    }
+    placement.effective_bytes().hash(&mut h);
+    placement.total_bytes().hash(&mut h);
+    seed.hash(&mut h);
+    limits.hash(&mut h);
+    h.finish()
+}
+
+fn hash_terminator(t: &Terminator, h: &mut impl Hasher) {
+    match t {
+        Terminator::Jump { target } => {
+            0u8.hash(h);
+            target.index().hash(h);
+        }
+        Terminator::Branch {
+            taken,
+            not_taken,
+            bias,
+        } => {
+            1u8.hash(h);
+            taken.index().hash(h);
+            not_taken.index().hash(h);
+            bias.base.to_bits().hash(h);
+            bias.input_spread.to_bits().hash(h);
+        }
+        Terminator::Switch { targets } => {
+            2u8.hash(h);
+            for (b, w) in targets {
+                b.index().hash(h);
+                w.hash(h);
+            }
+        }
+        Terminator::Call { callee, ret_to } => {
+            3u8.hash(h);
+            callee.index().hash(h);
+            ret_to.index().hash(h);
+        }
+        Terminator::Return => 4u8.hash(h),
+        Terminator::Exit => 5u8.hash(h),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use impact_cache::Cache;
+    use impact_layout::baseline;
+
+    use crate::sim;
+
+    use super::*;
+
+    const LIMITS: ExecLimits = ExecLimits {
+        max_instructions: 40_000,
+        max_call_depth: 512,
+    };
+
+    #[test]
+    fn session_matches_direct_simulation() {
+        let w = impact_workloads::by_name("wc").unwrap();
+        let placement = baseline::natural(&w.program);
+        let configs = [
+            CacheConfig::direct_mapped(512, 64),
+            CacheConfig::direct_mapped(2048, 64),
+        ];
+        let direct = sim::simulate(&w.program, &placement, 17, LIMITS, &configs);
+
+        let mut s = SimSession::new();
+        let h = s.request(&w.program, &placement, 17, LIMITS, &configs);
+        s.execute();
+        assert_eq!(s.stats(&h), direct);
+    }
+
+    #[test]
+    fn identical_keys_stream_once_and_union_configs() {
+        let w = impact_workloads::by_name("cmp").unwrap();
+        let placement = baseline::natural(&w.program);
+        let a = [
+            CacheConfig::direct_mapped(2048, 64),
+            CacheConfig::direct_mapped(512, 64),
+        ];
+        let b = [
+            CacheConfig::direct_mapped(512, 64), // shared with `a`
+            CacheConfig::direct_mapped(1024, 64),
+        ];
+        let mut s = SimSession::new();
+        let ha = s.request(&w.program, &placement, 3, LIMITS, &a);
+        let hb = s.request(&w.program, &placement, 3, LIMITS, &b);
+        s.execute();
+        let m = s.metrics();
+        assert_eq!(m.unique_traces, 1);
+        assert_eq!(m.traces_streamed, 1);
+        assert_eq!(m.restreams, 0);
+        assert_eq!(m.memo_key_hits, 1);
+        assert_eq!(m.configs_requested, 4);
+        assert_eq!(m.configs_simulated, 3, "512B config is shared");
+        assert_eq!(m.memo_served, 1);
+        // Both handles see their own config order.
+        assert_eq!(s.stats(&ha)[1], s.stats(&hb)[0]);
+        assert_eq!(
+            s.stats(&hb),
+            sim::simulate(&w.program, &placement, 3, LIMITS, &b)
+        );
+    }
+
+    #[test]
+    fn distinct_placements_and_seeds_get_distinct_keys() {
+        let w = impact_workloads::by_name("cmp").unwrap();
+        let natural = baseline::natural(&w.program);
+        let shuffled = baseline::random(&w.program, 0xfeed);
+        let cfg = [CacheConfig::direct_mapped(2048, 64)];
+        let mut s = SimSession::new();
+        let h1 = s.request(&w.program, &natural, 3, LIMITS, &cfg);
+        let h2 = s.request(&w.program, &shuffled, 3, LIMITS, &cfg);
+        let h3 = s.request(&w.program, &natural, 4, LIMITS, &cfg);
+        s.execute();
+        assert_eq!(s.metrics().unique_traces, 3);
+        assert_eq!(s.metrics().traces_streamed, 3);
+        // Same program + seed ⇒ same trace length even across layouts.
+        assert_eq!(s.instructions(&h1), s.instructions(&h2));
+        let _ = s.stats(&h3);
+    }
+
+    #[test]
+    fn parallel_execution_is_deterministic() {
+        let w = impact_workloads::by_name("wc").unwrap();
+        let cfg = [CacheConfig::direct_mapped(1024, 64)];
+        let run = |jobs: usize| {
+            let mut s = SimSession::with_jobs(jobs);
+            let handles: Vec<SimHandle> = (0..6)
+                .map(|k| {
+                    let placement = baseline::random(&w.program, k);
+                    s.request(&w.program, &placement, 11, LIMITS, &cfg)
+                })
+                .collect();
+            s.execute();
+            handles.iter().map(|h| s.counted(h)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn sinks_ride_the_same_stream_and_come_back() {
+        let w = impact_workloads::by_name("wc").unwrap();
+        let placement = baseline::natural(&w.program);
+        let cfg = CacheConfig::direct_mapped(2048, 64);
+        let mut s = SimSession::new();
+        let h = s.request(&w.program, &placement, 5, LIMITS, &[cfg]);
+        let sink = s.request_sink(&w.program, &placement, 5, LIMITS, Cache::new(cfg));
+        s.execute();
+        assert_eq!(s.metrics().traces_streamed, 1, "sink shares the stream");
+        let cache: Cache = s.take_sink(&sink);
+        assert_eq!(cache.stats(), s.stats(&h)[0]);
+    }
+
+    #[test]
+    fn empty_config_request_still_counts_instructions() {
+        let w = impact_workloads::by_name("cmp").unwrap();
+        let placement = baseline::natural(&w.program);
+        let mut s = SimSession::new();
+        let h = s.request(&w.program, &placement, 9, LIMITS, &[]);
+        s.execute();
+        let (_, direct_len) = sim::simulate_counted(&w.program, &placement, 9, LIMITS, &[]);
+        assert_eq!(s.instructions(&h), direct_len);
+        assert!(s.stats(&h).is_empty());
+    }
+
+    #[test]
+    fn late_demands_restream_correctly() {
+        let w = impact_workloads::by_name("cmp").unwrap();
+        let placement = baseline::natural(&w.program);
+        let c1 = [CacheConfig::direct_mapped(2048, 64)];
+        let c2 = [CacheConfig::direct_mapped(512, 64)];
+        let mut s = SimSession::new();
+        let h1 = s.request(&w.program, &placement, 2, LIMITS, &c1);
+        s.execute();
+        let h2 = s.request(&w.program, &placement, 2, LIMITS, &c2);
+        s.execute();
+        let m = s.metrics();
+        assert_eq!(m.traces_streamed, 2);
+        assert_eq!(m.restreams, 1);
+        assert_eq!(
+            s.stats(&h1),
+            sim::simulate(&w.program, &placement, 2, LIMITS, &c1)
+        );
+        assert_eq!(
+            s.stats(&h2),
+            sim::simulate(&w.program, &placement, 2, LIMITS, &c2)
+        );
+    }
+
+    #[test]
+    fn fingerprints_separate_scaled_programs() {
+        let w = impact_workloads::by_name("wc").unwrap();
+        let scaled = impact_layout::scale::scale_code(&w.program, 0.5);
+        let p1 = baseline::natural(&w.program);
+        let p2 = baseline::natural(&scaled);
+        assert_ne!(
+            fingerprint(&w.program, &p1, 1, LIMITS),
+            fingerprint(&scaled, &p2, 1, LIMITS)
+        );
+        assert_ne!(
+            fingerprint(&w.program, &p1, 1, LIMITS),
+            fingerprint(&w.program, &p1, 2, LIMITS)
+        );
+    }
+
+    #[test]
+    fn metrics_render_and_serialize() {
+        let w = impact_workloads::by_name("cmp").unwrap();
+        let placement = baseline::natural(&w.program);
+        let mut s = SimSession::with_jobs(2);
+        let _ = s.request(
+            &w.program,
+            &placement,
+            1,
+            LIMITS,
+            &[CacheConfig::direct_mapped(1024, 64)],
+        );
+        s.execute();
+        s.record_table("table6", 10, 20);
+        let m = s.metrics();
+        let summary = m.render_summary();
+        assert!(summary.contains("1 unique traces"), "{summary}");
+        let json = m.to_json().to_string_pretty();
+        assert!(json.contains("\"traces_streamed\": 1"), "{json}");
+        assert!(json.contains("\"label\": \"table6\""), "{json}");
+    }
+}

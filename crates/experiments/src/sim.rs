@@ -20,13 +20,14 @@ pub fn simulate(
     limits: ExecLimits,
     configs: &[CacheConfig],
 ) -> Vec<CacheStats> {
-    let mut bank = CacheBank::new(configs.iter().copied());
-    let gen = TraceGenerator::new(program, placement).with_limits(limits);
-    gen.run(eval_seed, |addr| bank.access(addr));
-    bank.stats()
+    simulate_counted(program, placement, eval_seed, limits, configs).0
 }
 
 /// Like [`simulate`], but also returns the trace length.
+///
+/// This is the one raw bank-plus-generator implementation; [`simulate`]
+/// delegates here, and the [`crate::session::SimSession`] equivalence
+/// tests compare against this path, so the two can never diverge.
 #[must_use]
 pub fn simulate_counted(
     program: &Program,

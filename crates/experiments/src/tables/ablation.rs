@@ -11,16 +11,13 @@
 //! plus a fully-associative LRU cache over the natural layout (the
 //! hardware-heavy alternative the paper argues against).
 
-use impact_cache::{
-    AccessSink, Associativity, Cache, CacheConfig, NextLinePrefetcher, VictimCache,
-};
+use impact_cache::{Associativity, Cache, CacheConfig, NextLinePrefetcher, VictimCache};
 use impact_layout::baseline;
 use impact_layout::pipeline::{Pipeline, PipelineConfig};
-use impact_trace::TraceGenerator;
 
 use crate::fmt;
 use crate::prepare::{pipeline_config, Prepared};
-use crate::sim;
+use crate::session::{SimHandle, SimSession, SinkHandle};
 
 /// Headline geometry.
 pub const CACHE_BYTES: u64 = 2048;
@@ -62,60 +59,117 @@ impact_support::json_object!(Row {
     natural_victim
 });
 
-/// Runs the ablation ladder.
-#[must_use]
-pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+/// One benchmark's pending handles across the ladder.
+#[derive(Debug)]
+struct RowPlan {
+    name: String,
+    random: SimHandle,
+    natural: SimHandle,
+    natural_fa: SimHandle,
+    no_inline: SimHandle,
+    full: SimHandle,
+    ph: SimHandle,
+    prefetch: SinkHandle,
+    victim: SinkHandle,
+}
+
+/// Pending session requests for this table.
+#[derive(Debug)]
+pub struct Plan {
+    rows: Vec<RowPlan>,
+}
+
+/// Registers the whole placement ladder per benchmark. The expensive
+/// per-row placements (the inline-disabled pipeline re-run and the
+/// Pettis-Hansen layout) are computed across the session's worker
+/// threads; every ladder rung becomes its own trace key, while the
+/// natural direct-mapped and fully-associative demands share one key
+/// (and one stream) through the config union. The prefetcher and victim
+/// cache ride the natural-layout stream as sinks.
+pub fn plan(session: &mut SimSession, prepared: &[Prepared]) -> Plan {
     let dm = [CacheConfig::direct_mapped(CACHE_BYTES, BLOCK_BYTES)];
     let fa = [CacheConfig::direct_mapped(CACHE_BYTES, BLOCK_BYTES)
         .with_associativity(Associativity::Full)];
-    prepared
+    let placements = impact_support::parallel_map(session.jobs(), prepared.iter().collect(), |p| {
+        let no_inline_cfg = PipelineConfig {
+            inline: None,
+            ..pipeline_config(&p.workload, &p.budget)
+        };
+        let ni = Pipeline::new(no_inline_cfg).run(&p.baseline_program);
+        let ph = impact_layout::ph::place(&p.result.program, &p.result.profile);
+        (ni, ph)
+    });
+    let rows = prepared
         .iter()
-        .map(|p| {
+        .zip(placements)
+        .map(|(p, (ni, ph_placement))| {
             let limits = p.budget.eval_limits(&p.workload);
             let seed = p.eval_seed();
             let program = &p.baseline_program;
 
             let random_placement = baseline::random(program, 0xab1a7e);
-            let random = sim::simulate(program, &random_placement, seed, limits, &dm)[0];
-            let natural = sim::simulate(program, &p.baseline, seed, limits, &dm)[0];
-            let natural_fa = sim::simulate(program, &p.baseline, seed, limits, &fa)[0];
-
-            let no_inline_cfg = PipelineConfig {
-                inline: None,
-                ..pipeline_config(&p.workload, &p.budget)
-            };
-            let ni = Pipeline::new(no_inline_cfg).run(program);
-            let no_inline = sim::simulate(&ni.program, &ni.placement, seed, limits, &dm)[0];
-
-            let full = sim::simulate(&p.result.program, &p.result.placement, seed, limits, &dm)[0];
-
-            let ph_placement = impact_layout::ph::place(&p.result.program, &p.result.profile);
-            let ph = sim::simulate(&p.result.program, &ph_placement, seed, limits, &dm)[0];
-
-            // The hardware alternatives, applied to the unoptimized
-            // layout: does placement beat a prefetcher or a victim cache?
-            let mut pf = NextLinePrefetcher::new(Cache::new(dm[0]));
-            let mut vc = VictimCache::new(dm[0], 4);
-            TraceGenerator::new(program, &p.baseline)
-                .with_limits(limits)
-                .run(seed, |addr| {
-                    pf.access(addr);
-                    vc.access(addr);
-                });
-
-            Row {
+            RowPlan {
                 name: p.workload.name.to_owned(),
-                random: random.miss_ratio(),
-                natural: natural.miss_ratio(),
-                natural_fully_assoc: natural_fa.miss_ratio(),
-                no_inline: no_inline.miss_ratio(),
-                full: full.miss_ratio(),
-                pettis_hansen: ph.miss_ratio(),
+                random: session.request(program, &random_placement, seed, limits, &dm),
+                natural: session.request(program, &p.baseline, seed, limits, &dm),
+                natural_fa: session.request(program, &p.baseline, seed, limits, &fa),
+                no_inline: session.request(&ni.program, &ni.placement, seed, limits, &dm),
+                full: session.request(&p.result.program, &p.result.placement, seed, limits, &dm),
+                ph: session.request(&p.result.program, &ph_placement, seed, limits, &dm),
+                // The hardware alternatives, applied to the unoptimized
+                // layout: does placement beat a prefetcher or a victim
+                // cache?
+                prefetch: session.request_sink(
+                    program,
+                    &p.baseline,
+                    seed,
+                    limits,
+                    NextLinePrefetcher::new(Cache::new(dm[0])),
+                ),
+                victim: session.request_sink(
+                    program,
+                    &p.baseline,
+                    seed,
+                    limits,
+                    VictimCache::new(dm[0], 4),
+                ),
+            }
+        })
+        .collect();
+    Plan { rows }
+}
+
+/// Reads the executed statistics (and takes the sinks back) into rows.
+#[must_use]
+pub fn finish(session: &mut SimSession, plan: Plan) -> Vec<Row> {
+    plan.rows
+        .into_iter()
+        .map(|r| {
+            let pf: NextLinePrefetcher = session.take_sink(&r.prefetch);
+            let vc: VictimCache = session.take_sink(&r.victim);
+            Row {
+                name: r.name,
+                random: session.stats(&r.random)[0].miss_ratio(),
+                natural: session.stats(&r.natural)[0].miss_ratio(),
+                natural_fully_assoc: session.stats(&r.natural_fa)[0].miss_ratio(),
+                no_inline: session.stats(&r.no_inline)[0].miss_ratio(),
+                full: session.stats(&r.full)[0].miss_ratio(),
+                pettis_hansen: session.stats(&r.ph)[0].miss_ratio(),
                 natural_prefetch: pf.stats().miss_ratio(),
                 natural_victim: vc.memory_miss_ratio(),
             }
         })
         .collect()
+}
+
+/// Runs the ablation ladder (one-shot session wrapper around
+/// [`plan`] / [`finish`]).
+#[must_use]
+pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+    let mut session = SimSession::new();
+    let plan = plan(&mut session, prepared);
+    session.execute();
+    finish(&mut session, plan)
 }
 
 /// Renders the ladder with a mean row.

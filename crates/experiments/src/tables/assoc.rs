@@ -12,7 +12,7 @@ use impact_cache::{Associativity, CacheConfig, CacheStats};
 
 use crate::fmt;
 use crate::prepare::Prepared;
-use crate::sim;
+use crate::session::{SimHandle, SimSession};
 
 /// Headline geometry.
 pub const CACHE_BYTES: u64 = 2048;
@@ -45,38 +45,68 @@ impact_support::json_object!(Row {
     optimized
 });
 
-/// Sweeps both layouts across the associativity ladder.
-#[must_use]
-pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+/// Pending session requests for this table.
+#[derive(Debug)]
+pub struct Plan {
+    rows: Vec<(String, SimHandle, SimHandle)>,
+}
+
+/// Registers the associativity ladder on both layouts of every
+/// benchmark.
+pub fn plan(session: &mut SimSession, prepared: &[Prepared]) -> Plan {
     let configs: Vec<CacheConfig> = WAYS
         .iter()
         .map(|&w| CacheConfig::direct_mapped(CACHE_BYTES, BLOCK_BYTES).with_associativity(w))
         .collect();
-    prepared
+    let rows = prepared
         .iter()
         .map(|p| {
             let limits = p.budget.eval_limits(&p.workload);
-            let natural: Vec<CacheStats> = sim::simulate(
+            let natural = session.request(
                 &p.baseline_program,
                 &p.baseline,
                 p.eval_seed(),
                 limits,
                 &configs,
             );
-            let optimized: Vec<CacheStats> = sim::simulate(
+            let optimized = session.request(
                 &p.result.program,
                 &p.result.placement,
                 p.eval_seed(),
                 limits,
                 &configs,
             );
+            (p.workload.name.to_owned(), natural, optimized)
+        })
+        .collect();
+    Plan { rows }
+}
+
+/// Reads the executed statistics into rows.
+#[must_use]
+pub fn finish(session: &SimSession, plan: &Plan) -> Vec<Row> {
+    plan.rows
+        .iter()
+        .map(|(name, natural, optimized)| {
+            let natural: Vec<CacheStats> = session.stats(natural);
+            let optimized: Vec<CacheStats> = session.stats(optimized);
             Row {
-                name: p.workload.name.to_owned(),
+                name: name.clone(),
                 natural: natural.iter().map(CacheStats::miss_ratio).collect(),
                 optimized: optimized.iter().map(CacheStats::miss_ratio).collect(),
             }
         })
         .collect()
+}
+
+/// Sweeps both layouts across the associativity ladder (one-shot session
+/// wrapper around [`plan`] / [`finish`]).
+#[must_use]
+pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+    let mut session = SimSession::new();
+    let plan = plan(&mut session, prepared);
+    session.execute();
+    finish(&session, &plan)
 }
 
 /// Renders the table with a mean row.

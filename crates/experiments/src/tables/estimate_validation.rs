@@ -13,7 +13,7 @@ use impact_cache::CacheConfig;
 use crate::estimate::estimate_direct_mapped;
 use crate::fmt;
 use crate::prepare::Prepared;
-use crate::sim;
+use crate::session::{SimHandle, SimSession};
 
 /// Cache sizes compared (64-byte blocks throughout).
 pub const CACHE_SIZES: [u64; 3] = [512, 2048, 8192];
@@ -29,24 +29,47 @@ pub struct Row {
 
 impact_support::json_object!(Row { name, cells });
 
-/// Runs prediction and simulation for every benchmark.
-#[must_use]
-pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+/// Pending session requests for this table.
+#[derive(Debug)]
+pub struct Plan {
+    configs: Vec<CacheConfig>,
+    rows: Vec<(usize, SimHandle)>,
+}
+
+/// Registers the simulated half of every comparison (the predictions are
+/// computed analytically in [`finish`]).
+pub fn plan(session: &mut SimSession, prepared: &[Prepared]) -> Plan {
     let configs: Vec<CacheConfig> = CACHE_SIZES
         .iter()
         .map(|&s| CacheConfig::direct_mapped(s, 64))
         .collect();
-    prepared
+    let rows = prepared
         .iter()
-        .map(|p| {
-            let simulated = sim::simulate(
+        .enumerate()
+        .map(|(i, p)| {
+            let handle = session.request(
                 &p.result.program,
                 &p.result.placement,
                 p.eval_seed(),
                 p.budget.eval_limits(&p.workload),
                 &configs,
             );
-            let cells = configs
+            (i, handle)
+        })
+        .collect();
+    Plan { configs, rows }
+}
+
+/// Pairs the analytic predictions with the executed simulations.
+#[must_use]
+pub fn finish(session: &SimSession, plan: &Plan, prepared: &[Prepared]) -> Vec<Row> {
+    plan.rows
+        .iter()
+        .map(|(i, handle)| {
+            let p = &prepared[*i];
+            let simulated = session.stats(handle);
+            let cells = plan
+                .configs
                 .iter()
                 .zip(&simulated)
                 .map(|(&config, s)| {
@@ -65,6 +88,16 @@ pub fn run(prepared: &[Prepared]) -> Vec<Row> {
             }
         })
         .collect()
+}
+
+/// Runs prediction and simulation for every benchmark (one-shot session
+/// wrapper around [`plan`] / [`finish`]).
+#[must_use]
+pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+    let mut session = SimSession::new();
+    let plan = plan(&mut session, prepared);
+    session.execute();
+    finish(&session, &plan, prepared)
 }
 
 /// Mean absolute error (in percentage points of miss ratio) per cache

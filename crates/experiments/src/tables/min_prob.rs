@@ -12,7 +12,7 @@ use impact_layout::pipeline::{Pipeline, PipelineConfig};
 
 use crate::fmt;
 use crate::prepare::{pipeline_config, Prepared};
-use crate::sim;
+use crate::session::{SimHandle, SimSession};
 
 /// Thresholds swept (the paper's value is 0.7).
 pub const THRESHOLDS: [f64; 5] = [0.5, 0.6, 0.7, 0.8, 0.9];
@@ -40,45 +40,105 @@ impact_support::json_object!(Row {
     traffic_2k
 });
 
-/// Re-runs the pipeline per threshold over all benchmarks.
-#[must_use]
-pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+/// One threshold's pending handles plus the profile-side quality sums.
+#[derive(Debug)]
+struct RowPlan {
+    min_prob: f64,
+    desirable: f64,
+    trace_length: f64,
+    handles: Vec<SimHandle>,
+}
+
+/// Pending session requests for this table.
+#[derive(Debug)]
+pub struct Plan {
+    rows: Vec<RowPlan>,
+    benchmarks: usize,
+}
+
+/// Re-runs the pipeline per `(threshold, benchmark)` — fanned across the
+/// session's worker threads — and registers the headline-cache request
+/// per re-optimized placement. Every threshold yields its own placements
+/// and therefore its own trace keys (0.7 reproduces the standard
+/// pipeline and coalesces with the headline tables in the memo).
+pub fn plan(session: &mut SimSession, prepared: &[Prepared]) -> Plan {
     let cache = [CacheConfig::direct_mapped(2048, 64)];
-    THRESHOLDS
+    let work: Vec<(f64, &Prepared)> = THRESHOLDS
         .iter()
-        .map(|&min_prob| {
+        .flat_map(|&t| prepared.iter().map(move |p| (t, p)))
+        .collect();
+    let results = impact_support::parallel_map(session.jobs(), work, |(min_prob, p)| {
+        let config = PipelineConfig {
+            min_prob,
+            ..pipeline_config(&p.workload, &p.budget)
+        };
+        Pipeline::new(config).run(&p.baseline_program)
+    });
+    let rows = THRESHOLDS
+        .iter()
+        .zip(results.chunks(prepared.len().max(1)))
+        .map(|(&min_prob, results)| {
             let mut desirable = 0.0;
             let mut trace_length = 0.0;
-            let mut miss = 0.0;
-            let mut traffic = 0.0;
-            for p in prepared {
-                let config = PipelineConfig {
-                    min_prob,
-                    ..pipeline_config(&p.workload, &p.budget)
-                };
-                let result = Pipeline::new(config).run(&p.baseline_program);
-                desirable += result.trace_quality.desirable;
-                trace_length += result.trace_quality.mean_trace_length;
-                let stats = sim::simulate(
-                    &result.program,
-                    &result.placement,
-                    p.eval_seed(),
-                    p.budget.eval_limits(&p.workload),
-                    &cache,
-                )[0];
-                miss += stats.miss_ratio();
-                traffic += stats.traffic_ratio();
-            }
-            let n = prepared.len().max(1) as f64;
-            Row {
+            let handles = prepared
+                .iter()
+                .zip(results)
+                .map(|(p, result)| {
+                    desirable += result.trace_quality.desirable;
+                    trace_length += result.trace_quality.mean_trace_length;
+                    session.request(
+                        &result.program,
+                        &result.placement,
+                        p.eval_seed(),
+                        p.budget.eval_limits(&p.workload),
+                        &cache,
+                    )
+                })
+                .collect();
+            RowPlan {
                 min_prob,
-                desirable: desirable / n,
-                trace_length: trace_length / n,
+                desirable,
+                trace_length,
+                handles,
+            }
+        })
+        .collect();
+    Plan {
+        rows,
+        benchmarks: prepared.len(),
+    }
+}
+
+/// Averages the executed statistics into one row per threshold.
+#[must_use]
+pub fn finish(session: &SimSession, plan: &Plan) -> Vec<Row> {
+    let n = plan.benchmarks.max(1) as f64;
+    plan.rows
+        .iter()
+        .map(|r| {
+            let (miss, traffic) = r.handles.iter().fold((0.0, 0.0), |(m, t), h| {
+                let s = session.stats(h)[0];
+                (m + s.miss_ratio(), t + s.traffic_ratio())
+            });
+            Row {
+                min_prob: r.min_prob,
+                desirable: r.desirable / n,
+                trace_length: r.trace_length / n,
                 miss_2k: miss / n,
                 traffic_2k: traffic / n,
             }
         })
         .collect()
+}
+
+/// Re-runs the pipeline per threshold over all benchmarks (one-shot
+/// session wrapper around [`plan`] / [`finish`]).
+#[must_use]
+pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+    let mut session = SimSession::new();
+    let plan = plan(&mut session, prepared);
+    session.execute();
+    finish(&session, &plan)
 }
 
 /// Renders the sweep.

@@ -10,13 +10,12 @@
 //! Denning working-set size and the traffic saved by page sectoring.
 
 use impact_cache::paging::{PageConfig, PagingSim, WorkingSetTracker};
-use impact_cache::AccessSink;
 use impact_ir::Program;
 use impact_layout::Placement;
-use impact_trace::TraceGenerator;
 
 use crate::fmt;
 use crate::prepare::Prepared;
+use crate::session::{SimSession, SinkHandle};
 
 /// Page size used throughout.
 pub const PAGE_BYTES: u64 = 1024;
@@ -56,64 +55,112 @@ impact_support::json_object!(Row {
     sectored_traffic
 });
 
-/// All three measurements in one trace pass per layout.
-fn measure(
+/// The paging sinks attached to one layout's trace stream.
+#[derive(Debug)]
+struct LayoutSinks {
+    full: SinkHandle,
+    sectored: SinkHandle,
+    ws: SinkHandle,
+}
+
+/// One benchmark's pending sinks across both layouts.
+#[derive(Debug)]
+struct RowPlan {
+    name: String,
+    natural: LayoutSinks,
+    optimized: LayoutSinks,
+}
+
+/// Pending session requests for this table.
+#[derive(Debug)]
+pub struct Plan {
+    rows: Vec<RowPlan>,
+}
+
+/// Attaches all three paging measurements to a layout's trace stream.
+fn attach(
+    session: &mut SimSession,
     program: &Program,
     placement: &Placement,
     seed: u64,
     limits: impact_profile::ExecLimits,
-) -> (f64, f64, f64, f64) {
-    let mut full = PagingSim::new(PageConfig {
+) -> LayoutSinks {
+    let full = PagingSim::new(PageConfig {
         page_bytes: PAGE_BYTES,
         resident_pages: RESIDENT_PAGES,
         sector_bytes: None,
     });
-    let mut sectored = PagingSim::new(PageConfig {
+    let sectored = PagingSim::new(PageConfig {
         page_bytes: PAGE_BYTES,
         resident_pages: RESIDENT_PAGES,
         sector_bytes: Some(SECTOR_BYTES),
     });
-    let mut ws = WorkingSetTracker::new(PAGE_BYTES, WS_WINDOW);
-    let gen = TraceGenerator::new(program, placement).with_limits(limits);
-    gen.run(seed, |addr| {
-        full.access(addr);
-        sectored.access(addr);
-        ws.access(addr);
-    });
-    (
-        full.stats().fault_ratio(),
-        ws.mean_pages(),
-        full.stats().traffic_ratio(),
-        sectored.stats().traffic_ratio(),
-    )
+    let ws = WorkingSetTracker::new(PAGE_BYTES, WS_WINDOW);
+    LayoutSinks {
+        full: session.request_sink(program, placement, seed, limits, full),
+        sectored: session.request_sink(program, placement, seed, limits, sectored),
+        ws: session.request_sink(program, placement, seed, limits, ws),
+    }
 }
 
-/// Runs the paging experiment for every prepared benchmark.
-#[must_use]
-pub fn run(prepared: &[Prepared]) -> Vec<Row> {
-    prepared
+/// Registers the paging sinks for both layouts of every benchmark; the
+/// streams are shared with every cache table that evaluates the same
+/// keys.
+pub fn plan(session: &mut SimSession, prepared: &[Prepared]) -> Plan {
+    let rows = prepared
         .iter()
         .map(|p| {
             let limits = p.budget.eval_limits(&p.workload);
-            let (nat_fault, nat_ws, _, _) =
-                measure(&p.baseline_program, &p.baseline, p.eval_seed(), limits);
-            let (opt_fault, opt_ws, full_traffic, sectored_traffic) = measure(
-                &p.result.program,
-                &p.result.placement,
-                p.eval_seed(),
-                limits,
-            );
-            Row {
+            let seed = p.eval_seed();
+            RowPlan {
                 name: p.workload.name.to_owned(),
-                natural_fault_ratio: nat_fault,
-                optimized_fault_ratio: opt_fault,
-                natural_ws_pages: nat_ws,
-                optimized_ws_pages: opt_ws,
-                full_traffic,
-                sectored_traffic,
+                natural: attach(session, &p.baseline_program, &p.baseline, seed, limits),
+                optimized: attach(
+                    session,
+                    &p.result.program,
+                    &p.result.placement,
+                    seed,
+                    limits,
+                ),
+            }
+        })
+        .collect();
+    Plan { rows }
+}
+
+/// Takes the streamed sinks back and reads them into rows.
+#[must_use]
+pub fn finish(session: &mut SimSession, plan: Plan) -> Vec<Row> {
+    plan.rows
+        .into_iter()
+        .map(|r| {
+            let nat_full: PagingSim = session.take_sink(&r.natural.full);
+            let _nat_sectored: PagingSim = session.take_sink(&r.natural.sectored);
+            let nat_ws: WorkingSetTracker = session.take_sink(&r.natural.ws);
+            let opt_full: PagingSim = session.take_sink(&r.optimized.full);
+            let opt_sectored: PagingSim = session.take_sink(&r.optimized.sectored);
+            let opt_ws: WorkingSetTracker = session.take_sink(&r.optimized.ws);
+            Row {
+                name: r.name,
+                natural_fault_ratio: nat_full.stats().fault_ratio(),
+                optimized_fault_ratio: opt_full.stats().fault_ratio(),
+                natural_ws_pages: nat_ws.mean_pages(),
+                optimized_ws_pages: opt_ws.mean_pages(),
+                full_traffic: opt_full.stats().traffic_ratio(),
+                sectored_traffic: opt_sectored.stats().traffic_ratio(),
             }
         })
         .collect()
+}
+
+/// Runs the paging experiment for every prepared benchmark (one-shot
+/// session wrapper around [`plan`] / [`finish`]).
+#[must_use]
+pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+    let mut session = SimSession::new();
+    let plan = plan(&mut session, prepared);
+    session.execute();
+    finish(&mut session, plan)
 }
 
 /// Renders the table.

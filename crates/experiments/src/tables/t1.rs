@@ -12,7 +12,7 @@ use impact_cache::{smith, CacheConfig, CacheStats};
 
 use crate::fmt;
 use crate::prepare::Prepared;
-use crate::sim;
+use crate::session::{SimHandle, SimSession};
 
 /// One `(cache size, block size)` cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,10 +35,17 @@ impact_support::json_object!(Row {
     measured_unoptimized
 });
 
-/// Computes all 16 grid cells.
-#[must_use]
-pub fn run(prepared: &[Prepared]) -> Vec<Row> {
-    // One pass per benchmark over all 16 configurations.
+/// Pending session requests for this table.
+#[derive(Debug)]
+pub struct Plan {
+    configs: Vec<CacheConfig>,
+    handles: Vec<SimHandle>,
+    benchmarks: usize,
+}
+
+/// Registers one 16-configuration request per benchmark (unoptimized
+/// layout) on the session.
+pub fn plan(session: &mut SimSession, prepared: &[Prepared]) -> Plan {
     let configs: Vec<CacheConfig> = smith::CACHE_SIZES
         .iter()
         .flat_map(|&s| {
@@ -47,23 +54,38 @@ pub fn run(prepared: &[Prepared]) -> Vec<Row> {
                 .map(move |&b| CacheConfig::fully_associative(s, b))
         })
         .collect();
+    let handles = prepared
+        .iter()
+        .map(|p| {
+            session.request(
+                &p.baseline_program,
+                &p.baseline,
+                p.eval_seed(),
+                p.budget.eval_limits(&p.workload),
+                &configs,
+            )
+        })
+        .collect();
+    Plan {
+        configs,
+        handles,
+        benchmarks: prepared.len(),
+    }
+}
 
-    let mut sums = vec![0.0f64; configs.len()];
-    for p in prepared {
-        let stats: Vec<CacheStats> = sim::simulate(
-            &p.baseline_program,
-            &p.baseline,
-            p.eval_seed(),
-            p.budget.eval_limits(&p.workload),
-            &configs,
-        );
+/// Averages the executed session results into the 16 grid cells.
+#[must_use]
+pub fn finish(session: &SimSession, plan: &Plan) -> Vec<Row> {
+    let mut sums = vec![0.0f64; plan.configs.len()];
+    for h in &plan.handles {
+        let stats: Vec<CacheStats> = session.stats(h);
         for (sum, s) in sums.iter_mut().zip(&stats) {
             *sum += s.miss_ratio();
         }
     }
-    let n = prepared.len().max(1) as f64;
+    let n = plan.benchmarks.max(1) as f64;
 
-    configs
+    plan.configs
         .iter()
         .zip(&sums)
         .map(|(c, &sum)| Row {
@@ -74,6 +96,16 @@ pub fn run(prepared: &[Prepared]) -> Vec<Row> {
             measured_unoptimized: sum / n,
         })
         .collect()
+}
+
+/// Computes all 16 grid cells (one-shot session wrapper around
+/// [`plan`] / [`finish`]).
+#[must_use]
+pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+    let mut session = SimSession::new();
+    let plan = plan(&mut session, prepared);
+    session.execute();
+    finish(&session, &plan)
 }
 
 /// Renders the grid with target and measured values side by side.

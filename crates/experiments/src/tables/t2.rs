@@ -8,6 +8,7 @@
 
 use crate::fmt;
 use crate::prepare::Prepared;
+use crate::session::SimSession;
 
 /// One benchmark's profile characteristics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +32,26 @@ impact_support::json_object!(Row {
     instructions,
     control
 });
+
+/// Session-uniform plan/finish shape: this table is profile-only (no
+/// simulation), so its rows are fully computed at plan time.
+#[derive(Debug)]
+pub struct Plan {
+    rows: Vec<Row>,
+}
+
+/// Computes all rows from the profiles (nothing to simulate).
+pub fn plan(_session: &mut SimSession, prepared: &[Prepared]) -> Plan {
+    Plan {
+        rows: run(prepared),
+    }
+}
+
+/// Returns the rows computed in [`plan`].
+#[must_use]
+pub fn finish(_session: &SimSession, plan: Plan) -> Vec<Row> {
+    plan.rows
+}
 
 /// Computes one row per prepared benchmark from its pre-inlining profile
 /// (Table 2 describes the original programs).

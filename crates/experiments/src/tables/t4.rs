@@ -2,6 +2,7 @@
 
 use crate::fmt;
 use crate::prepare::Prepared;
+use crate::session::SimSession;
 
 /// One benchmark's trace-quality statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +26,27 @@ impact_support::json_object!(Row {
     desirable,
     trace_length
 });
+
+/// Session-uniform plan/finish shape: this table is profile-only (no
+/// simulation), so its rows are fully computed at plan time.
+#[derive(Debug)]
+pub struct Plan {
+    rows: Vec<Row>,
+}
+
+/// Computes all rows from the trace-quality reports (nothing to
+/// simulate).
+pub fn plan(_session: &mut SimSession, prepared: &[Prepared]) -> Plan {
+    Plan {
+        rows: run(prepared),
+    }
+}
+
+/// Returns the rows computed in [`plan`].
+#[must_use]
+pub fn finish(_session: &SimSession, plan: Plan) -> Vec<Row> {
+    plan.rows
+}
 
 /// Extracts one row per prepared benchmark.
 #[must_use]

@@ -2,7 +2,7 @@
 
 use crate::fmt;
 use crate::prepare::Prepared;
-use crate::sim;
+use crate::session::{SimHandle, SimSession};
 
 /// One benchmark's size characteristics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,28 +24,58 @@ impact_support::json_object!(Row {
     dynamic_accesses
 });
 
-/// Computes one row per prepared benchmark (evaluation trace length is
-/// measured with an empty cache bank — one extra pass).
-#[must_use]
-pub fn run(prepared: &[Prepared]) -> Vec<Row> {
-    prepared
+/// Pending session requests for this table.
+#[derive(Debug)]
+pub struct Plan {
+    rows: Vec<(String, u64, u64, SimHandle)>,
+}
+
+/// Registers one empty-config (trace-length only) request per benchmark;
+/// the optimized trace is shared with every other table that streams it.
+pub fn plan(session: &mut SimSession, prepared: &[Prepared]) -> Plan {
+    let rows = prepared
         .iter()
         .map(|p| {
-            let (_, len) = sim::simulate_counted(
+            let handle = session.request(
                 &p.result.program,
                 &p.result.placement,
                 p.eval_seed(),
                 p.budget.eval_limits(&p.workload),
                 &[],
             );
-            Row {
-                name: p.workload.name.to_owned(),
-                total_static_bytes: p.result.total_static_bytes(),
-                effective_static_bytes: p.result.effective_static_bytes(),
-                dynamic_accesses: len,
-            }
+            (
+                p.workload.name.to_owned(),
+                p.result.total_static_bytes(),
+                p.result.effective_static_bytes(),
+                handle,
+            )
+        })
+        .collect();
+    Plan { rows }
+}
+
+/// Reads the executed trace lengths into rows.
+#[must_use]
+pub fn finish(session: &SimSession, plan: &Plan) -> Vec<Row> {
+    plan.rows
+        .iter()
+        .map(|(name, total, effective, handle)| Row {
+            name: name.clone(),
+            total_static_bytes: *total,
+            effective_static_bytes: *effective,
+            dynamic_accesses: session.instructions(handle),
         })
         .collect()
+}
+
+/// Computes one row per prepared benchmark (one-shot session wrapper
+/// around [`plan`] / [`finish`]).
+#[must_use]
+pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+    let mut session = SimSession::new();
+    let plan = plan(&mut session, prepared);
+    session.execute();
+    finish(&session, &plan)
 }
 
 /// Renders the table.

@@ -5,7 +5,7 @@ use impact_cache::{CacheConfig, CacheStats};
 
 use crate::fmt;
 use crate::prepare::Prepared;
-use crate::sim;
+use crate::session::{SimHandle, SimSession};
 
 /// The cache sizes of the paper's columns, in bytes (8 K down to 0.5 K).
 pub const CACHE_SIZES: [u64; 5] = [8192, 4096, 2048, 1024, 512];
@@ -24,26 +24,43 @@ pub struct Row {
 
 impact_support::json_object!(Row { name, cells });
 
-/// Simulates every benchmark across all cache sizes in one trace pass
-/// each.
-#[must_use]
-pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+/// Pending session requests for this table.
+#[derive(Debug)]
+pub struct Plan {
+    rows: Vec<(String, SimHandle)>,
+}
+
+/// Registers the cache-size sweep per benchmark (optimized layout).
+pub fn plan(session: &mut SimSession, prepared: &[Prepared]) -> Plan {
     let configs: Vec<CacheConfig> = CACHE_SIZES
         .iter()
         .map(|&s| CacheConfig::direct_mapped(s, BLOCK_BYTES))
         .collect();
-    prepared
+    let rows = prepared
         .iter()
         .map(|p| {
-            let stats: Vec<CacheStats> = sim::simulate(
+            let handle = session.request(
                 &p.result.program,
                 &p.result.placement,
                 p.eval_seed(),
                 p.budget.eval_limits(&p.workload),
                 &configs,
             );
+            (p.workload.name.to_owned(), handle)
+        })
+        .collect();
+    Plan { rows }
+}
+
+/// Reads the executed statistics into rows.
+#[must_use]
+pub fn finish(session: &SimSession, plan: &Plan) -> Vec<Row> {
+    plan.rows
+        .iter()
+        .map(|(name, handle)| {
+            let stats: Vec<CacheStats> = session.stats(handle);
             Row {
-                name: p.workload.name.to_owned(),
+                name: name.clone(),
                 cells: stats
                     .iter()
                     .map(|s| (s.miss_ratio(), s.traffic_ratio()))
@@ -51,6 +68,16 @@ pub fn run(prepared: &[Prepared]) -> Vec<Row> {
             }
         })
         .collect()
+}
+
+/// Simulates every benchmark across all cache sizes (one-shot session
+/// wrapper around [`plan`] / [`finish`]).
+#[must_use]
+pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+    let mut session = SimSession::new();
+    let plan = plan(&mut session, prepared);
+    session.execute();
+    finish(&session, &plan)
 }
 
 /// Per-size `(mean miss, mean traffic)` across benchmarks — the numbers

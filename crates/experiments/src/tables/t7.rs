@@ -5,7 +5,7 @@ use impact_cache::{CacheConfig, CacheStats};
 
 use crate::fmt;
 use crate::prepare::Prepared;
-use crate::sim;
+use crate::session::{SimHandle, SimSession};
 
 /// The block sizes of the paper's columns, in bytes.
 pub const BLOCK_SIZES: [u64; 4] = [16, 32, 64, 128];
@@ -24,25 +24,43 @@ pub struct Row {
 
 impact_support::json_object!(Row { name, cells });
 
-/// Simulates every benchmark across all block sizes.
-#[must_use]
-pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+/// Pending session requests for this table.
+#[derive(Debug)]
+pub struct Plan {
+    rows: Vec<(String, SimHandle)>,
+}
+
+/// Registers the block-size sweep per benchmark (optimized layout).
+pub fn plan(session: &mut SimSession, prepared: &[Prepared]) -> Plan {
     let configs: Vec<CacheConfig> = BLOCK_SIZES
         .iter()
         .map(|&b| CacheConfig::direct_mapped(CACHE_BYTES, b))
         .collect();
-    prepared
+    let rows = prepared
         .iter()
         .map(|p| {
-            let stats: Vec<CacheStats> = sim::simulate(
+            let handle = session.request(
                 &p.result.program,
                 &p.result.placement,
                 p.eval_seed(),
                 p.budget.eval_limits(&p.workload),
                 &configs,
             );
+            (p.workload.name.to_owned(), handle)
+        })
+        .collect();
+    Plan { rows }
+}
+
+/// Reads the executed statistics into rows.
+#[must_use]
+pub fn finish(session: &SimSession, plan: &Plan) -> Vec<Row> {
+    plan.rows
+        .iter()
+        .map(|(name, handle)| {
+            let stats: Vec<CacheStats> = session.stats(handle);
             Row {
-                name: p.workload.name.to_owned(),
+                name: name.clone(),
                 cells: stats
                     .iter()
                     .map(|s| (s.miss_ratio(), s.traffic_ratio()))
@@ -50,6 +68,16 @@ pub fn run(prepared: &[Prepared]) -> Vec<Row> {
             }
         })
         .collect()
+}
+
+/// Simulates every benchmark across all block sizes (one-shot session
+/// wrapper around [`plan`] / [`finish`]).
+#[must_use]
+pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+    let mut session = SimSession::new();
+    let plan = plan(&mut session, prepared);
+    session.execute();
+    finish(&session, &plan)
 }
 
 /// Per-block-size `(mean miss, mean traffic)` across benchmarks.

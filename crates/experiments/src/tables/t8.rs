@@ -5,7 +5,7 @@ use impact_cache::{CacheConfig, FillPolicy};
 
 use crate::fmt;
 use crate::prepare::Prepared;
-use crate::sim;
+use crate::session::{SimHandle, SimSession};
 
 /// Cache geometry shared by both schemes.
 pub const CACHE_BYTES: u64 = 2048;
@@ -44,27 +44,45 @@ impact_support::json_object!(Row {
     avg_exec
 });
 
-/// Simulates both schemes for every benchmark in one pass each.
-#[must_use]
-pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+/// Pending session requests for this table.
+#[derive(Debug)]
+pub struct Plan {
+    rows: Vec<(String, SimHandle)>,
+}
+
+/// Registers both traffic-reduction schemes per benchmark.
+pub fn plan(session: &mut SimSession, prepared: &[Prepared]) -> Plan {
     let configs = [
         CacheConfig::direct_mapped(CACHE_BYTES, BLOCK_BYTES).with_fill(FillPolicy::Sectored {
             sector_bytes: SECTOR_BYTES,
         }),
         CacheConfig::direct_mapped(CACHE_BYTES, BLOCK_BYTES).with_fill(FillPolicy::Partial),
     ];
-    prepared
+    let rows = prepared
         .iter()
         .map(|p| {
-            let stats = sim::simulate(
+            let handle = session.request(
                 &p.result.program,
                 &p.result.placement,
                 p.eval_seed(),
                 p.budget.eval_limits(&p.workload),
                 &configs,
             );
+            (p.workload.name.to_owned(), handle)
+        })
+        .collect();
+    Plan { rows }
+}
+
+/// Reads the executed statistics into rows.
+#[must_use]
+pub fn finish(session: &SimSession, plan: &Plan) -> Vec<Row> {
+    plan.rows
+        .iter()
+        .map(|(name, handle)| {
+            let stats = session.stats(handle);
             Row {
-                name: p.workload.name.to_owned(),
+                name: name.clone(),
                 sector_miss: stats[0].miss_ratio(),
                 sector_traffic: stats[0].traffic_ratio(),
                 partial_miss: stats[1].miss_ratio(),
@@ -74,6 +92,16 @@ pub fn run(prepared: &[Prepared]) -> Vec<Row> {
             }
         })
         .collect()
+}
+
+/// Simulates both schemes for every benchmark (one-shot session wrapper
+/// around [`plan`] / [`finish`]).
+#[must_use]
+pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+    let mut session = SimSession::new();
+    let plan = plan(&mut session, prepared);
+    session.execute();
+    finish(&session, &plan)
 }
 
 /// Renders the table.

@@ -12,7 +12,7 @@ use impact_layout::scale::scale_code;
 
 use crate::fmt;
 use crate::prepare::{pipeline_config, Prepared};
-use crate::sim;
+use crate::session::{SimHandle, SimSession};
 
 /// The paper's scaling factors.
 pub const FACTORS: [f64; 4] = [0.5, 0.7, 1.0, 1.1];
@@ -28,36 +28,78 @@ pub struct Row {
 
 impact_support::json_object!(Row { name, cells });
 
-/// Re-runs the pipeline per scaling factor and simulates the partial-
-/// loading configuration.
-#[must_use]
-pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+/// Pending session requests for this table.
+#[derive(Debug)]
+pub struct Plan {
+    rows: Vec<(String, Vec<SimHandle>)>,
+}
+
+/// Re-runs the pipeline per `(benchmark, factor)` — fanned across the
+/// session's worker threads — and registers one request per scaled
+/// placement. Each scaled program yields a distinct trace key (the
+/// fingerprint covers block sizes and placement addresses), so the
+/// session cannot conflate densities; the 1.0× run reproduces the
+/// standard optimized placement and is served from the shared memo.
+pub fn plan(session: &mut SimSession, prepared: &[Prepared]) -> Plan {
     let config = [CacheConfig::direct_mapped(2048, 64).with_fill(FillPolicy::Partial)];
-    prepared
+    let work: Vec<(&Prepared, f64)> = prepared
         .iter()
-        .map(|p| {
-            let cells = FACTORS
+        .flat_map(|p| FACTORS.iter().map(move |&f| (p, f)))
+        .collect();
+    let results = impact_support::parallel_map(session.jobs(), work, |(p, factor)| {
+        let scaled = scale_code(&p.baseline_program, factor);
+        let pc = pipeline_config(&p.workload, &p.budget);
+        Pipeline::new(pc).run(&scaled)
+    });
+    let rows = prepared
+        .iter()
+        .zip(results.chunks(FACTORS.len()))
+        .map(|(p, scaled)| {
+            let handles = scaled
                 .iter()
-                .map(|&factor| {
-                    let scaled = scale_code(&p.baseline_program, factor);
-                    let pc = pipeline_config(&p.workload, &p.budget);
-                    let result = Pipeline::new(pc).run(&scaled);
-                    let stats = sim::simulate(
+                .map(|result| {
+                    session.request(
                         &result.program,
                         &result.placement,
                         p.eval_seed(),
                         p.budget.eval_limits(&p.workload),
                         &config,
-                    );
-                    (stats[0].miss_ratio(), stats[0].traffic_ratio())
+                    )
                 })
                 .collect();
-            Row {
-                name: p.workload.name.to_owned(),
-                cells,
-            }
+            (p.workload.name.to_owned(), handles)
+        })
+        .collect();
+    Plan { rows }
+}
+
+/// Reads the executed statistics into rows.
+#[must_use]
+pub fn finish(session: &SimSession, plan: &Plan) -> Vec<Row> {
+    plan.rows
+        .iter()
+        .map(|(name, handles)| Row {
+            name: name.clone(),
+            cells: handles
+                .iter()
+                .map(|h| {
+                    let s = session.stats(h)[0];
+                    (s.miss_ratio(), s.traffic_ratio())
+                })
+                .collect(),
         })
         .collect()
+}
+
+/// Re-runs the pipeline per scaling factor and simulates the partial-
+/// loading configuration (one-shot session wrapper around
+/// [`plan`] / [`finish`]).
+#[must_use]
+pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+    let mut session = SimSession::new();
+    let plan = plan(&mut session, prepared);
+    session.execute();
+    finish(&session, &plan)
 }
 
 /// Renders the table.

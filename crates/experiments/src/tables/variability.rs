@@ -12,7 +12,7 @@ use impact_cache::CacheConfig;
 
 use crate::fmt;
 use crate::prepare::Prepared;
-use crate::sim;
+use crate::session::{SimHandle, SimSession};
 
 /// Number of held-out inputs evaluated per benchmark.
 pub const SEEDS: u64 = 5;
@@ -48,28 +48,50 @@ impact_support::json_object!(Row {
     max
 });
 
-/// Evaluates every benchmark over [`SEEDS`] held-out inputs.
-#[must_use]
-pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+/// Pending session requests for this table.
+#[derive(Debug)]
+pub struct Plan {
+    rows: Vec<(String, Vec<SimHandle>)>,
+}
+
+/// Registers one request per held-out seed per benchmark. Each seed is a
+/// distinct trace key; the `k = 0` seed *is* the standard evaluation
+/// input, so that stream is shared with the headline tables.
+pub fn plan(session: &mut SimSession, prepared: &[Prepared]) -> Plan {
     let configs = [CacheConfig::direct_mapped(CACHE_BYTES, BLOCK_BYTES)];
-    prepared
+    let rows = prepared
         .iter()
         .map(|p| {
             let limits = p.budget.eval_limits(&p.workload);
-            let miss_ratios: Vec<f64> = (0..SEEDS)
+            let handles = (0..SEEDS)
                 .map(|k| {
                     // Spacing by a large stride keeps the extra seeds far
                     // from both the profiling range and each other.
                     let seed = p.eval_seed() + k * 7919;
-                    sim::simulate(
+                    session.request(
                         &p.result.program,
                         &p.result.placement,
                         seed,
                         limits,
                         &configs,
-                    )[0]
-                    .miss_ratio()
+                    )
                 })
+                .collect();
+            (p.workload.name.to_owned(), handles)
+        })
+        .collect();
+    Plan { rows }
+}
+
+/// Reads the executed statistics into spread rows.
+#[must_use]
+pub fn finish(session: &SimSession, plan: &Plan) -> Vec<Row> {
+    plan.rows
+        .iter()
+        .map(|(name, handles)| {
+            let miss_ratios: Vec<f64> = handles
+                .iter()
+                .map(|h| session.stats(h)[0].miss_ratio())
                 .collect();
             let n = miss_ratios.len() as f64;
             let mean = miss_ratios.iter().sum::<f64>() / n;
@@ -81,7 +103,7 @@ pub fn run(prepared: &[Prepared]) -> Vec<Row> {
             let min = miss_ratios.iter().copied().fold(f64::INFINITY, f64::min);
             let max = miss_ratios.iter().copied().fold(0.0f64, f64::max);
             Row {
-                name: p.workload.name.to_owned(),
+                name: name.clone(),
                 miss_ratios,
                 mean,
                 std_dev: var.sqrt(),
@@ -90,6 +112,16 @@ pub fn run(prepared: &[Prepared]) -> Vec<Row> {
             }
         })
         .collect()
+}
+
+/// Evaluates every benchmark over [`SEEDS`] held-out inputs (one-shot
+/// session wrapper around [`plan`] / [`finish`]).
+#[must_use]
+pub fn run(prepared: &[Prepared]) -> Vec<Row> {
+    let mut session = SimSession::new();
+    let plan = plan(&mut session, prepared);
+    session.execute();
+    finish(&session, &plan)
 }
 
 /// Renders the table.

@@ -309,7 +309,6 @@ impl Pipeline {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use impact_ir::{BranchBias, ProgramBuilder, Terminator};
 
@@ -348,7 +347,9 @@ mod tests {
     fn full_pipeline_produces_valid_placement() {
         let p = program();
         let r = Pipeline::new(PipelineConfig::default()).run(&p);
-        assert!(r.placement.is_valid_for(&r.program));
+        // Full validity is checked by the IPA verifier in
+        // `tests/verify_placements.rs`.
+        assert_eq!(r.placement.total_bytes(), r.program.total_bytes());
         assert!(r.global.is_permutation_of(&r.program));
         for (fid, func) in r.program.functions() {
             assert!(r.layouts[fid.index()].is_permutation_of(func));

@@ -1,0 +1,79 @@
+//! Every placement constructor must satisfy the IPA placement verifier.
+//!
+//! These checks live in an integration test (not the unit-test modules)
+//! because `impact-analyze` is a dev-dependency cycle back onto this
+//! crate: inside `cfg(test)` the crate under test is a *different*
+//! compilation than the one the verifier links, so the two `Placement`
+//! types do not unify. Out here both sides link the same library build.
+
+use impact_analyze::verify_placement;
+use impact_ir::Program;
+use impact_layout::function_layout::FunctionLayout;
+use impact_layout::global_layout::GlobalOrder;
+use impact_layout::trace_select::TraceSelector;
+use impact_layout::{baseline, ph, Pipeline, PipelineConfig, Placement};
+use impact_profile::Profiler;
+
+fn program() -> Program {
+    impact_workloads::by_name("wc").expect("wc exists").program
+}
+
+fn assert_clean(program: &Program, placement: &Placement, what: &str) {
+    let report = verify_placement(program, placement);
+    assert!(report.is_clean(), "{what}: {}", report.render());
+}
+
+#[test]
+fn natural_placement_is_clean() {
+    let p = program();
+    assert_clean(&p, &baseline::natural(&p), "natural");
+}
+
+#[test]
+fn random_placement_is_clean() {
+    let p = program();
+    assert_clean(&p, &baseline::random(&p, 42), "random(42)");
+    assert_clean(&p, &baseline::random(&p, 7), "random(7)");
+}
+
+#[test]
+fn ph_placement_is_clean() {
+    let p = program();
+    let profile = Profiler::new().runs(8).profile(&p);
+    assert_clean(&p, &ph::place(&p, &profile), "ph");
+}
+
+#[test]
+fn pipeline_placement_is_clean() {
+    let p = program();
+    let r = Pipeline::new(PipelineConfig::default()).run(&p);
+    assert_clean(&r.program, &r.placement, "pipeline");
+}
+
+#[test]
+fn assembled_placement_is_clean() {
+    let p = program();
+    let prof = Profiler::new().runs(4).profile(&p);
+    let selector = TraceSelector::new();
+    let layouts: Vec<FunctionLayout> = p
+        .functions()
+        .map(|(fid, func)| {
+            let ta = selector.select(func, fid, &prof);
+            FunctionLayout::compute(func, fid, &ta, &prof)
+        })
+        .collect();
+    let global = GlobalOrder::compute(&p, &prof);
+    assert_clean(&p, &Placement::assemble(&p, &global, &layouts), "assemble");
+}
+
+#[test]
+fn contiguous_placement_is_clean() {
+    let p = program();
+    let func_order: Vec<_> = p.function_ids().collect();
+    let block_orders: Vec<Vec<_>> = p
+        .functions()
+        .map(|(_, f)| f.block_ids().collect())
+        .collect();
+    let placement = Placement::contiguous(&p, &func_order, &block_orders);
+    assert_clean(&p, &placement, "contiguous");
+}

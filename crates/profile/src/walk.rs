@@ -89,7 +89,7 @@ impl ExecVisitor for NullVisitor {
 }
 
 /// Resource limits for one walk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExecLimits {
     /// Stop after this many dynamic instructions (terminators included).
     pub max_instructions: u64,

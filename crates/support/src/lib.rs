@@ -12,6 +12,8 @@
 //!   deterministic shrink-free `forall`) replacing `proptest`.
 //! * [`bench`] — a wall-clock micro-benchmark harness replacing
 //!   `criterion` for the `impact-bench` binaries.
+//! * [`par`] — a deterministic-order, bounded fork/join `parallel_map`
+//!   over scoped threads, replacing `rayon` for the evaluation engine.
 //!
 //! Everything here is deterministic by construction: the RNG streams and
 //! the check seeds are fixed, so test failures reproduce exactly.
@@ -22,7 +24,9 @@
 pub mod bench;
 pub mod check;
 pub mod json;
+pub mod par;
 pub mod rng;
 
 pub use json::{Json, ToJson};
+pub use par::parallel_map;
 pub use rng::Rng;

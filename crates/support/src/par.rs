@@ -1,0 +1,125 @@
+//! Deterministic fork/join parallelism over scoped threads.
+//!
+//! The workspace runs without external crates, so this module provides
+//! the one parallel primitive the experiment harness needs: a
+//! [`parallel_map`] that fans independent work items across a bounded
+//! number of [`std::thread::scope`] threads and returns results **in
+//! input order**, regardless of which thread finished first. With
+//! `jobs == 1` the map degenerates to a plain serial loop, so callers
+//! can guarantee byte-identical serial behavior by construction.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item, using up to `jobs` worker threads, and
+/// returns the results in input order.
+///
+/// Work is distributed dynamically (an atomic cursor), so uneven item
+/// costs balance automatically. `jobs` is clamped to at least 1; with
+/// one job (or zero/one items) no threads are spawned and the map runs
+/// serially on the caller's thread, in input order.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let jobs = jobs.max(1);
+    let n = items.len();
+    if jobs == 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // One slot per item: the input moves out, the output moves in. Each
+    // slot is claimed by exactly one worker (the cursor hands out every
+    // index once), so locks are uncontended.
+    let slots: Vec<Mutex<(Option<T>, Option<R>)>> = items
+        .into_iter()
+        .map(|t| Mutex::new((Some(t), None)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    let (slots_ref, cursor_ref, f_ref) = (&slots, &cursor, &f);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(move || loop {
+                let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let mut slot = slots_ref[i].lock().expect("slot lock poisoned");
+                let item = slot.0.take().expect("each slot is claimed once");
+                slot.1 = Some(f_ref(item));
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock poisoned")
+                .1
+                .expect("scope joined all workers")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(8, items.clone(), |x| x * 3);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..57).collect();
+        let serial = parallel_map(1, items.clone(), |x| x.wrapping_mul(0x9e37));
+        let parallel = parallel_map(4, items, |x| x.wrapping_mul(0x9e37));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        let out = parallel_map(0, vec![1, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(4, empty, |x| x).is_empty());
+        assert_eq!(parallel_map(4, vec![9], |x| x * 2), vec![18]);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        let out = parallel_map(64, vec![1u8, 2], |x| x);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Later items finish first; order must not change.
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map(8, items, |x| {
+            let mut acc = 0u64;
+            for i in 0..(32 - x) * 10_000 {
+                acc = acc.wrapping_add(i ^ x);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+}
