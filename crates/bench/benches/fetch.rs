@@ -1,0 +1,171 @@
+//! Scalar vs. run-batched fetch-path throughput.
+//!
+//! Streams the grep benchmark's evaluation trace as sequential runs
+//! (exactly what `TraceGenerator::stream` emits), then drives each cache
+//! organization twice over the same runs — once word-by-word through
+//! `access`, once through `access_run` — and reports instructions/sec
+//! for both plus the speedup. Results are written to `BENCH_cache.json`.
+//!
+//! Run with `--fast` (CI smoke) for a short trace and few repetitions;
+//! the process exits non-zero if the batched path is slower than scalar
+//! on the headline direct-mapped organization.
+
+use impact_cache::{AccessSink, Associativity, Cache, CacheConfig, FillPolicy, WORD_BYTES};
+use impact_layout::baseline;
+use impact_profile::ExecLimits;
+use impact_support::json::{Json, ToJson};
+use impact_trace::TraceGenerator;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Collects the run stream `TraceGenerator::stream` emits.
+struct RunCollector(Vec<(u64, u64)>);
+
+impl AccessSink for RunCollector {
+    fn access(&mut self, addr: u64) {
+        self.0.push((addr, 1));
+    }
+
+    fn access_run(&mut self, addr: u64, words: u64) {
+        self.0.push((addr, words));
+    }
+}
+
+/// The grep evaluation trace as (start, words) runs.
+fn sample_runs(max_instructions: u64) -> (Vec<(u64, u64)>, u64) {
+    let w = impact_workloads::by_name("grep").expect("grep exists");
+    let placement = baseline::natural(&w.program);
+    let gen = TraceGenerator::new(&w.program, &placement).with_limits(ExecLimits {
+        max_instructions,
+        max_call_depth: 512,
+    });
+    let mut runs = RunCollector(Vec::new());
+    let summary = gen.stream(w.eval_seed(), &mut runs);
+    (runs.0, summary.instructions)
+}
+
+fn best_nanos(reps: u32, mut body: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        body();
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+struct Row {
+    name: &'static str,
+    scalar_ips: f64,
+    batched_ips: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        if self.scalar_ips == 0.0 {
+            0.0
+        } else {
+            self.batched_ips / self.scalar_ips
+        }
+    }
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("scalar_instrs_per_sec".into(), self.scalar_ips.to_json()),
+            ("batched_instrs_per_sec".into(), self.batched_ips.to_json()),
+            ("speedup".into(), self.speedup().to_json()),
+        ])
+    }
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let (instructions, reps) = if fast { (200_000, 3) } else { (2_000_000, 5) };
+    let (runs, streamed) = sample_runs(instructions);
+    eprintln!(
+        "fetch bench: {streamed} instructions in {} runs ({} mode, best of {reps})",
+        runs.len(),
+        if fast { "fast" } else { "full" },
+    );
+
+    let configs: Vec<(&'static str, CacheConfig)> = vec![
+        ("direct_2k_64", CacheConfig::direct_mapped(2048, 64)),
+        (
+            "assoc2_2k_64",
+            CacheConfig::direct_mapped(2048, 64).with_associativity(Associativity::Ways(2)),
+        ),
+        (
+            "full_2k_64",
+            CacheConfig::direct_mapped(2048, 64).with_associativity(Associativity::Full),
+        ),
+        (
+            "sectored_2k_64_8",
+            CacheConfig::direct_mapped(2048, 64)
+                .with_fill(FillPolicy::Sectored { sector_bytes: 8 }),
+        ),
+        (
+            "partial_2k_64",
+            CacheConfig::direct_mapped(2048, 64).with_fill(FillPolicy::Partial),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, config) in configs {
+        let scalar_nanos = best_nanos(reps, || {
+            let mut cache = Cache::new(config);
+            for &(start, words) in &runs {
+                for w in 0..words {
+                    cache.access(start + w * WORD_BYTES);
+                }
+            }
+            black_box(cache.take_stats());
+        });
+        let batched_nanos = best_nanos(reps, || {
+            let mut cache = Cache::new(config);
+            for &(start, words) in &runs {
+                cache.access_run(start, words);
+            }
+            black_box(cache.take_stats());
+        });
+        let row = Row {
+            name,
+            scalar_ips: streamed as f64 * 1e9 / scalar_nanos as f64,
+            batched_ips: streamed as f64 * 1e9 / batched_nanos as f64,
+        };
+        eprintln!(
+            "  {name:18} scalar {:8.2}M/s  batched {:8.2}M/s  ({:.2}x)",
+            row.scalar_ips / 1e6,
+            row.batched_ips / 1e6,
+            row.speedup(),
+        );
+        rows.push(row);
+    }
+
+    let json = Json::Obj(vec![
+        ("bench".into(), "fetch".to_json()),
+        ("mode".into(), if fast { "fast" } else { "full" }.to_json()),
+        ("instructions".into(), streamed.to_json()),
+        ("runs".into(), (runs.len() as u64).to_json()),
+        ("results".into(), rows.to_json()),
+    ]);
+    // Cargo runs benches with the package directory as cwd; anchor the
+    // result file at the workspace root where it is committed.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cache.json");
+    std::fs::write(out, json.to_string_pretty() + "\n").expect("write BENCH_cache.json");
+    eprintln!("wrote {out}");
+
+    let headline = rows
+        .iter()
+        .find(|r| r.name == "direct_2k_64")
+        .expect("headline config present");
+    if headline.batched_ips < headline.scalar_ips {
+        eprintln!(
+            "FAIL: batched path slower than scalar on direct_2k_64 ({:.2}x)",
+            headline.speedup()
+        );
+        std::process::exit(1);
+    }
+}

@@ -119,18 +119,46 @@ impl TwoLevel {
 
 impl AccessSink for TwoLevel {
     fn access(&mut self, addr: u64) {
-        let before = self.l1.stats().words_fetched;
+        let before = self.l1.raw_words_fetched();
         self.l1.access(addr);
-        let fetched_words = self.l1.stats().words_fetched - before;
+        let fetched_words = self.l1.raw_words_fetched() - before;
         if fetched_words > 0 {
             // The L1 fill streams word-by-word over the inter-cache bus;
             // the L2 observes the word addresses of the filled region
             // (which starts at the L1 block base for full-block fills).
             let l1_block = self.l1.config().block_bytes;
             let base = addr / l1_block * l1_block;
-            for w in 0..fetched_words {
-                self.l2.access(base + w * WORD_BYTES);
+            self.l2.access_run(base, fetched_words);
+        }
+    }
+
+    fn access_run(&mut self, addr: u64, words: u64) {
+        if !matches!(self.l1.config().fill, crate::FillPolicy::FullBlock) {
+            // Sectored/partial fills burst from the block base at *each*
+            // missed word of the run; only the word path reproduces that
+            // L2 address stream.
+            for w in 0..words {
+                self.access(addr + w * WORD_BYTES);
             }
+            return;
+        }
+        // Full-block fill: at most one fill per L1 line, always the whole
+        // block from its base, so the L2 stream per line segment is
+        // exactly one run.
+        let l1_block = self.l1.config().block_bytes;
+        let mut a = addr;
+        let mut remaining = words;
+        while remaining > 0 {
+            let in_block = (a % l1_block) / WORD_BYTES;
+            let n = remaining.min(l1_block / WORD_BYTES - in_block);
+            let before = self.l1.raw_words_fetched();
+            self.l1.access_run(a, n);
+            let fetched_words = self.l1.raw_words_fetched() - before;
+            if fetched_words > 0 {
+                self.l2.access_run(a / l1_block * l1_block, fetched_words);
+            }
+            a += n * WORD_BYTES;
+            remaining -= n;
         }
     }
 }

@@ -53,7 +53,7 @@ pub use config::{Associativity, CacheConfig, ConfigError, FillPolicy, Replacemen
 pub use hierarchy::{HierarchyLatency, TwoLevel};
 pub use multi::CacheBank;
 pub use prefetch::NextLinePrefetcher;
-pub use sim::{AccessSink, Cache};
+pub use sim::{AccessSink, Cache, FnSink};
 pub use stats::CacheStats;
 pub use timing::{TimingConfig, TimingModel};
 pub use victim::VictimCache;

@@ -54,6 +54,12 @@ impl CacheBank {
         self.caches.iter().map(Cache::stats).collect()
     }
 
+    /// Finalizes and returns every cache's statistics without cloning
+    /// trackers; see [`Cache::take_stats`].
+    pub fn take_stats(&mut self) -> Vec<CacheStats> {
+        self.caches.iter_mut().map(Cache::take_stats).collect()
+    }
+
     /// Number of caches in the bank.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -71,6 +77,12 @@ impl AccessSink for CacheBank {
     fn access(&mut self, addr: u64) {
         for cache in &mut self.caches {
             cache.access(addr);
+        }
+    }
+
+    fn access_run(&mut self, addr: u64, words: u64) {
+        for cache in &mut self.caches {
+            cache.access_run(addr, words);
         }
     }
 }

@@ -168,12 +168,13 @@ impl PagingSim {
     fn words_per_transfer(&self) -> u64 {
         self.config.sector_bytes.unwrap_or(self.config.page_bytes) / WORD_BYTES
     }
-}
 
-impl AccessSink for PagingSim {
-    fn access(&mut self, addr: u64) {
-        self.stamp += 1;
-        self.stats.accesses += 1;
+    /// `n` consecutive word accesses within one page sector (or one page
+    /// without sectoring). Only the first access can fault or transfer;
+    /// the rest contribute clock ticks and the final LRU refresh.
+    fn access_segment(&mut self, addr: u64, n: u64) {
+        self.stamp += n;
+        self.stats.accesses += n;
         let page = addr / self.config.page_bytes;
         if self.touched.insert(page) {
             self.stats.distinct_pages += 1;
@@ -216,6 +217,28 @@ impl AccessSink for PagingSim {
                 .min_by_key(|rp| rp.lru)
                 .expect("resident set is non-empty");
             *victim = new_page;
+        }
+    }
+}
+
+impl AccessSink for PagingSim {
+    fn access(&mut self, addr: u64) {
+        self.access_segment(addr, 1);
+    }
+
+    fn access_run(&mut self, addr: u64, words: u64) {
+        // Split at transfer-unit boundaries (sector, or whole page
+        // without sectoring): within a unit only the first word can
+        // fault.
+        let seg_bytes = self.config.sector_bytes.unwrap_or(self.config.page_bytes);
+        let mut a = addr;
+        let mut remaining = words;
+        while remaining > 0 {
+            let in_seg = (a % seg_bytes) / WORD_BYTES;
+            let n = remaining.min(seg_bytes / WORD_BYTES - in_seg);
+            self.access_segment(a, n);
+            a += n * WORD_BYTES;
+            remaining -= n;
         }
     }
 }
@@ -288,6 +311,34 @@ impl AccessSink for WorkingSetTracker {
         self.last_access.insert(addr / self.page_bytes, self.clock);
         if self.clock.is_multiple_of((self.window / 4).max(1)) {
             self.sample();
+        }
+    }
+
+    fn access_run(&mut self, addr: u64, words: u64) {
+        // Per-page segments: all words of a segment touch one page, so a
+        // single map insert with the segment's final clock suffices. Any
+        // sample point inside the segment sees the page as referenced
+        // either way (its last access is within the window by
+        // construction), so samples are taken at the same clocks with the
+        // same values as the word-by-word path.
+        let words_per_page = self.page_bytes / WORD_BYTES;
+        let every = (self.window / 4).max(1);
+        let mut a = addr;
+        let mut remaining = words;
+        while remaining > 0 {
+            let in_page = (a % self.page_bytes) / WORD_BYTES;
+            let n = remaining.min(words_per_page - in_page);
+            let c1 = self.clock + n;
+            self.last_access.insert(a / self.page_bytes, c1);
+            let mut m = (self.clock / every + 1) * every;
+            while m <= c1 {
+                self.clock = m;
+                self.sample();
+                m += every;
+            }
+            self.clock = c1;
+            a += n * WORD_BYTES;
+            remaining -= n;
         }
     }
 }

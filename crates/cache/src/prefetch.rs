@@ -81,9 +81,9 @@ impl AccessSink for NextLinePrefetcher {
 
         // Demand access. Misses on a pending prefetched line cannot
         // happen (the line is resident); count usefulness instead.
-        let before = self.cache.stats();
+        let before = self.cache.raw_misses();
         self.cache.access(addr);
-        let missed = self.cache.stats().misses > before.misses;
+        let missed = self.cache.raw_misses() > before;
         if !missed && self.pending.remove(&line) {
             self.useful_prefetches += 1;
         }
@@ -100,6 +100,28 @@ impl AccessSink for NextLinePrefetcher {
                 self.prefetches += 1;
                 self.pending.insert(next);
             }
+        }
+    }
+
+    fn access_run(&mut self, addr: u64, words: u64) {
+        // Per line, only the first access can change the prefetcher's own
+        // state: it settles the line's `pending` membership and fires the
+        // tagged trigger. Later words of the same line see `last_trigger
+        // == Some(line)` and an already-settled pending set, so they
+        // reduce to plain cache accesses and batch as one run.
+        let block_bytes = self.cache.config().block_bytes;
+        let words_per_block = block_bytes / crate::WORD_BYTES;
+        let mut a = addr;
+        let mut remaining = words;
+        while remaining > 0 {
+            let in_block = (a % block_bytes) / crate::WORD_BYTES;
+            let n = remaining.min(words_per_block - in_block);
+            self.access(a);
+            if n > 1 {
+                self.cache.access_run(a + crate::WORD_BYTES, n - 1);
+            }
+            a += n * crate::WORD_BYTES;
+            remaining -= n;
         }
     }
 }

@@ -11,6 +11,38 @@ use crate::WORD_BYTES;
 pub trait AccessSink {
     /// Observe one 4-byte instruction fetch at `addr`.
     fn access(&mut self, addr: u64);
+
+    /// Observe `words` consecutive fetches at `addr`, `addr + 4`, ...,
+    /// `addr + 4 * (words - 1)` — one *run* of sequential execution.
+    ///
+    /// Fetch streams are overwhelmingly sequential (that is the very
+    /// property trace placement optimizes for), so batching the stream
+    /// at run granularity lets sinks amortize per-access work across a
+    /// whole cache line. The default implementation unrolls the run into
+    /// [`AccessSink::access`] calls, so every sink accepts runs; sinks
+    /// with a native batch path override this with something faster that
+    /// is **bit-identical** to the unrolled loop.
+    fn access_run(&mut self, addr: u64, words: u64) {
+        for i in 0..words {
+            self.access(addr + i * WORD_BYTES);
+        }
+    }
+}
+
+/// Adapts a closure to [`AccessSink`].
+///
+/// Runs arrive unrolled word-by-word through the default
+/// [`AccessSink::access_run`], so a `FnSink` observes exactly the
+/// per-address stream regardless of how the producer batches.
+pub struct FnSink<F: FnMut(u64)>(
+    /// The closure every fetch address is forwarded to.
+    pub F,
+);
+
+impl<F: FnMut(u64)> AccessSink for FnSink<F> {
+    fn access(&mut self, addr: u64) {
+        (self.0)(addr);
+    }
 }
 
 /// One cache way: tag, per-word valid bits, and an LRU stamp.
@@ -36,12 +68,30 @@ pub struct Cache {
     config: CacheConfig,
     ways: Vec<Way>,
     ways_per_set: usize,
-    sets: u64,
     words_per_block: u64,
     stamp: u64,
     stats: CacheStats,
     tracker: ExecRunTracker,
+    // Geometry, precomputed once: configs are validated powers of two,
+    // so every div/mod on the access path reduces to shift/mask.
+    /// `log2(block_bytes)`.
+    block_shift: u32,
+    /// `block_bytes - 1`.
+    block_mask: u64,
+    /// `sets - 1`.
+    set_mask: u64,
+    /// `log2(sets)`.
+    set_shift: u32,
+    /// Valid mask covering the whole block.
+    full_mask: u64,
+    /// Direct-mapped with whole-block fill: the monomorphized fast path.
+    fast_path: bool,
+    /// Demand hits refresh recency (LRU only).
+    lru_refresh: bool,
 }
+
+/// `log2(WORD_BYTES)`.
+const WORD_SHIFT: u32 = WORD_BYTES.trailing_zeros();
 
 impl Cache {
     /// Creates a cache for `config`.
@@ -57,6 +107,7 @@ impl Cache {
             .unwrap_or_else(|e| panic!("invalid cache config: {e}"));
         let sets = config.sets();
         let ways_per_set = config.ways() as usize;
+        let words_per_block = config.words_per_block();
         Self {
             config,
             ways: vec![
@@ -68,11 +119,18 @@ impl Cache {
                 (sets as usize) * ways_per_set
             ],
             ways_per_set,
-            sets,
-            words_per_block: config.words_per_block(),
+            words_per_block,
             stamp: 0,
             stats: CacheStats::default(),
             tracker: ExecRunTracker::default(),
+            block_shift: config.block_bytes.trailing_zeros(),
+            block_mask: config.block_bytes - 1,
+            set_mask: sets - 1,
+            set_shift: sets.trailing_zeros(),
+            full_mask: Self::word_mask(0, words_per_block),
+            fast_path: matches!(config.associativity, crate::Associativity::Direct)
+                && matches!(config.fill, FillPolicy::FullBlock),
+            lru_refresh: matches!(config.replacement, crate::Replacement::Lru),
         }
     }
 
@@ -83,12 +141,60 @@ impl Cache {
     }
 
     /// Current statistics (with any open execution run flushed).
+    ///
+    /// This copies the tracker so the simulation can continue afterwards;
+    /// for the end of a simulation prefer [`Cache::take_stats`], which
+    /// finalizes in place without the copy.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         let mut stats = self.stats;
         let mut tracker = self.tracker;
         tracker.finish(&mut stats);
         stats
+    }
+
+    /// Finalizes and returns the statistics: the open execution run (if
+    /// any) is flushed *into* the cache's counters, so repeated calls are
+    /// idempotent and nothing is copied per call.
+    ///
+    /// Use this once streaming is done; [`Cache::stats`] remains for
+    /// mid-simulation snapshots. Accesses observed after `take_stats`
+    /// start a fresh execution-run measurement.
+    pub fn take_stats(&mut self) -> CacheStats {
+        self.tracker.finish(&mut self.stats);
+        self.stats
+    }
+
+    /// Demand misses so far, without flushing the execution-run tracker
+    /// (cheap; exact — only `exec_runs` counters lag in `self.stats`).
+    pub(crate) fn raw_misses(&self) -> u64 {
+        self.stats.misses
+    }
+
+    /// Words fetched so far, without flushing the execution-run tracker.
+    pub(crate) fn raw_words_fetched(&self) -> u64 {
+        self.stats.words_fetched
+    }
+
+    /// A digest of the complete replacement-relevant state: every way's
+    /// tag, valid bits, and recency stamp, plus the global stamp counter.
+    ///
+    /// Two caches with equal fingerprints hold identical victim contents
+    /// and will behave identically on any future access stream. Exposed
+    /// so equivalence tests can assert that the batched
+    /// [`AccessSink::access_run`] path leaves *exactly* the state the
+    /// word-by-word path does.
+    #[must_use]
+    pub fn state_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.stamp.hash(&mut h);
+        for w in &self.ways {
+            w.tag.hash(&mut h);
+            w.valid.hash(&mut h);
+            w.lru.hash(&mut h);
+        }
+        h.finish()
     }
 
     /// Resets counters and contents.
@@ -127,10 +233,10 @@ impl Cache {
     /// or a probed block is promoted as if the program had touched it and
     /// the victim choice skews toward genuinely hot blocks.
     fn probe(&mut self, addr: u64, demand: bool) -> (bool, u64) {
-        let block_addr = addr / self.config.block_bytes;
-        let set = (block_addr % self.sets) as usize;
-        let tag = block_addr / self.sets;
-        let word_in_block = (addr % self.config.block_bytes) / WORD_BYTES;
+        let block_addr = addr >> self.block_shift;
+        let set = (block_addr & self.set_mask) as usize;
+        let tag = block_addr >> self.set_shift;
+        let word_in_block = (addr & self.block_mask) >> WORD_SHIFT;
 
         self.stamp += 1;
         let base = set * self.ways_per_set;
@@ -232,6 +338,136 @@ impl Cache {
     }
 }
 
+impl Cache {
+    /// Batched demand accesses to `n` consecutive words of **one** cache
+    /// line, for the headline organization (direct-mapped, whole-block
+    /// fill): one tag compare decides hit/miss for the entire span — no
+    /// way scan, no fill dispatch, no per-word valid-bit checks (a
+    /// resident full-block line is always fully valid).
+    fn line_run_fast(&mut self, addr: u64, n: u64) {
+        let block_addr = addr >> self.block_shift;
+        let set = (block_addr & self.set_mask) as usize;
+        let tag = block_addr >> self.set_shift;
+        let s0 = self.stamp;
+        self.stamp = s0 + n;
+        self.stats.accesses += n;
+        let way = &mut self.ways[set];
+        if way.tag == tag {
+            // Word-by-word, every access would refresh recency; only the
+            // final stamp survives.
+            if self.lru_refresh {
+                way.lru = s0 + n;
+            }
+            self.tracker.observe_hits(addr, n, &mut self.stats);
+        } else {
+            way.tag = tag;
+            way.valid = self.full_mask;
+            // Insertion stamps the first access; LRU then refreshes on
+            // each of the n-1 following hits.
+            way.lru = if self.lru_refresh { s0 + n } else { s0 + 1 };
+            self.stats.misses += 1;
+            self.stats.words_fetched += self.words_per_block;
+            self.tracker.observe(addr, true, &mut self.stats);
+            self.tracker
+                .observe_hits(addr + WORD_BYTES, n - 1, &mut self.stats);
+        }
+    }
+
+    /// Batched demand accesses to `n` consecutive words of **one** cache
+    /// line, general organization: one tag probe (and at most one victim
+    /// choice) per line, then a valid-bitmap walk that replays the
+    /// scalar fill policy exactly — including `stamp` evolution, so
+    /// LRU/FIFO victim order and `Replacement::Random` draws are
+    /// unchanged.
+    fn line_run_general(&mut self, addr: u64, w0: u64, n: u64) {
+        let block_addr = addr >> self.block_shift;
+        let set = (block_addr & self.set_mask) as usize;
+        let tag = block_addr >> self.set_shift;
+        let fill = self.config.fill;
+        let wpb = self.words_per_block;
+        let ways_per_set = self.ways_per_set;
+        let lru_refresh = self.lru_refresh;
+        let s0 = self.stamp;
+        self.stamp = s0 + n;
+        self.stats.accesses += n;
+
+        // Split borrows: the way array, tracker, and counters are
+        // disjoint fields the bitmap walk updates together.
+        let Self {
+            ref mut ways,
+            ref mut tracker,
+            ref mut stats,
+            ..
+        } = *self;
+        let base = set * ways_per_set;
+        let ways = &mut ways[base..base + ways_per_set];
+
+        let idx = if let Some(i) = ways.iter().position(|w| w.tag == tag) {
+            i
+        } else {
+            // Block miss on the first word of the span: the victim is
+            // chosen with that access's stamp, exactly as in `probe`.
+            let stamp1 = s0 + 1;
+            let i = match self.config.replacement {
+                crate::Replacement::Lru | crate::Replacement::Fifo => {
+                    ways.iter()
+                        .enumerate()
+                        .min_by_key(|(_, w)| if w.tag == EMPTY { 0 } else { w.lru })
+                        .expect("caches have at least one way")
+                        .0
+                }
+                crate::Replacement::Random => {
+                    if let Some(empty) = ways.iter().position(|w| w.tag == EMPTY) {
+                        empty
+                    } else {
+                        let mut x = stamp1 ^ 0x9e37_79b9_7f4a_7c15;
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        (x % ways_per_set as u64) as usize
+                    }
+                }
+            };
+            ways[i] = Way {
+                tag,
+                valid: 0,
+                lru: stamp1,
+            };
+            i
+        };
+        let way = &mut ways[idx];
+        if lru_refresh {
+            // Each demand access refreshes recency; the final stamp wins.
+            way.lru = s0 + n;
+        }
+
+        let end = w0 + n;
+        if way.valid & Self::word_mask(w0, n) == Self::word_mask(w0, n) {
+            // Every word resident: bulk hit, no bitmap walk.
+            tracker.observe_hits(addr, n, stats);
+            return;
+        }
+        // Walk the span's valid bits: hit stretches are observed in one
+        // step, each invalid word replays the scalar fill.
+        let mut w = w0;
+        while w < end {
+            if way.valid & (1 << w) != 0 {
+                let span = w;
+                while w < end && way.valid & (1 << w) != 0 {
+                    w += 1;
+                }
+                tracker.observe_hits(addr + (span - w0) * WORD_BYTES, w - span, stats);
+            } else {
+                let fetched = Self::fill(way, fill, w, wpb);
+                stats.misses += 1;
+                stats.words_fetched += fetched;
+                tracker.observe(addr + (w - w0) * WORD_BYTES, true, stats);
+                w += 1;
+            }
+        }
+    }
+}
+
 impl AccessSink for Cache {
     fn access(&mut self, addr: u64) {
         let (missed, fetched) = self.lookup(addr);
@@ -241,6 +477,22 @@ impl AccessSink for Cache {
             self.stats.words_fetched += fetched;
         }
         self.tracker.observe(addr, missed, &mut self.stats);
+    }
+
+    fn access_run(&mut self, addr: u64, words: u64) {
+        let mut a = addr;
+        let mut remaining = words;
+        while remaining > 0 {
+            let w0 = (a & self.block_mask) >> WORD_SHIFT;
+            let n = remaining.min(self.words_per_block - w0);
+            if self.fast_path {
+                self.line_run_fast(a, n);
+            } else {
+                self.line_run_general(a, w0, n);
+            }
+            a += n * WORD_BYTES;
+            remaining -= n;
+        }
     }
 }
 

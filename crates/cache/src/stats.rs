@@ -102,6 +102,32 @@ impl ExecRunTracker {
         self.prev_addr = Some(addr);
     }
 
+    /// Observes `count` consecutive *hit* words starting at `start_addr`
+    /// in one step — the batched equivalent of `count` calls to
+    /// [`ExecRunTracker::observe`] with `miss == false` over a
+    /// word-contiguous span.
+    ///
+    /// Within such a span every access after the first is sequential and
+    /// none is a miss, so the only place a run can close is at the span's
+    /// first word (a non-sequential entry); after that an active run just
+    /// grows by the span length.
+    pub(crate) fn observe_hits(&mut self, start_addr: u64, count: u64, stats: &mut CacheStats) {
+        if count == 0 {
+            return;
+        }
+        let sequential = self.prev_addr == Some(start_addr.wrapping_sub(crate::WORD_BYTES));
+        if self.active {
+            if sequential {
+                self.run_len += count;
+            } else {
+                stats.exec_runs += 1;
+                stats.exec_run_instrs += self.run_len;
+                self.active = false;
+            }
+        }
+        self.prev_addr = Some(start_addr + (count - 1) * crate::WORD_BYTES);
+    }
+
     /// Flushes a trailing open run at end of simulation.
     pub(crate) fn finish(&mut self, stats: &mut CacheStats) {
         if self.active {
@@ -167,6 +193,46 @@ mod tests {
         t.finish(&mut s);
         assert_eq!(s.exec_runs, 1);
         assert_eq!(s.exec_run_instrs, 3);
+    }
+
+    #[test]
+    fn observe_hits_matches_word_by_word_observes() {
+        // Every (miss pattern, span split) must agree with the scalar
+        // tracker. Miss positions are encoded as a bitmask over 12 words.
+        for pattern in 0u32..64 {
+            let mut scalar_t = ExecRunTracker::default();
+            let mut scalar_s = CacheStats::default();
+            let mut batched_t = ExecRunTracker::default();
+            let mut batched_s = CacheStats::default();
+            // Two discontiguous 6-word groups exercise the run-entry edge.
+            let addrs: Vec<u64> = (0..6u64)
+                .map(|i| i * 4)
+                .chain((0..6u64).map(|i| 1000 + i * 4))
+                .collect();
+            for (i, &a) in addrs.iter().enumerate() {
+                scalar_t.observe(a, pattern & (1 << i) != 0, &mut scalar_s);
+            }
+            // Batched: misses individually, hit stretches via observe_hits.
+            let mut i = 0usize;
+            while i < addrs.len() {
+                if pattern & (1 << i) != 0 {
+                    batched_t.observe(addrs[i], true, &mut batched_s);
+                    i += 1;
+                } else {
+                    let start = i;
+                    while i < addrs.len()
+                        && pattern & (1 << i) == 0
+                        && (i == start || addrs[i] == addrs[i - 1] + 4)
+                    {
+                        i += 1;
+                    }
+                    batched_t.observe_hits(addrs[start], (i - start) as u64, &mut batched_s);
+                }
+            }
+            scalar_t.finish(&mut scalar_s);
+            batched_t.finish(&mut batched_s);
+            assert_eq!(scalar_s, batched_s, "pattern {pattern:#b}");
+        }
     }
 
     #[test]

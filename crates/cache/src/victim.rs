@@ -136,6 +136,24 @@ impl AccessSink for VictimCache {
             self.push_victim(evicted_block);
         }
     }
+
+    fn access_run(&mut self, addr: u64, words: u64) {
+        // Whole-block fills only: after the first access of a line the
+        // block is resident, so the remaining words of the segment are
+        // guaranteed main-array hits — pure stamp/access bookkeeping.
+        let block_bytes = self.config.block_bytes;
+        let mut a = addr;
+        let mut remaining = words;
+        while remaining > 0 {
+            let in_block = (a % block_bytes) / WORD_BYTES;
+            let n = remaining.min(block_bytes / WORD_BYTES - in_block);
+            self.access(a);
+            self.stamp += n - 1;
+            self.stats.accesses += n - 1;
+            a += n * WORD_BYTES;
+            remaining -= n;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -65,6 +65,7 @@ pub struct SinkHandle {
 /// recovered by concrete type afterwards.
 trait SessionSink: Send {
     fn access_addr(&mut self, addr: u64);
+    fn access_run_addr(&mut self, addr: u64, words: u64);
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
 }
 
@@ -73,8 +74,35 @@ impl<S: AccessSink + Send + 'static> SessionSink for S {
         self.access(addr);
     }
 
+    fn access_run_addr(&mut self, addr: u64, words: u64) {
+        self.access_run(addr, words);
+    }
+
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
+    }
+}
+
+/// Fans one run-batched trace stream across the key's cache bank and its
+/// attached sinks, preserving run granularity for both.
+struct Fanout<'a> {
+    bank: &'a mut CacheBank,
+    sinks: &'a mut Vec<Box<dyn SessionSink>>,
+}
+
+impl AccessSink for Fanout<'_> {
+    fn access(&mut self, addr: u64) {
+        self.bank.access(addr);
+        for s in self.sinks.iter_mut() {
+            s.access_addr(addr);
+        }
+    }
+
+    fn access_run(&mut self, addr: u64, words: u64) {
+        self.bank.access_run(addr, words);
+        for s in self.sinks.iter_mut() {
+            s.access_run_addr(addr, words);
+        }
     }
 }
 
@@ -492,19 +520,20 @@ impl SimSession {
             |(i, program, placement, seed, limits, mut bank, mut sinks)| {
                 let t0 = Instant::now();
                 let gen = TraceGenerator::new(program, placement).with_limits(limits);
-                let summary = gen.run(seed, |addr| {
-                    bank.access(addr);
-                    for s in &mut sinks {
-                        s.access_addr(addr);
-                    }
-                });
+                let summary = gen.stream(
+                    seed,
+                    &mut Fanout {
+                        bank: &mut bank,
+                        sinks: &mut sinks,
+                    },
+                );
                 let nanos = t0.elapsed().as_nanos() as u64;
                 (i, bank, sinks, summary.instructions, nanos)
             },
         );
 
         // Phase 3: file results back, serially, in key order.
-        for (i, bank, sinks, instructions, nanos) in results {
+        for (i, mut bank, sinks, instructions, nanos) in results {
             let k = &mut self.keys[i];
             self.traces_streamed += 1;
             if k.instructions.is_some() {
@@ -521,7 +550,7 @@ impl SimSession {
                 instructions,
                 nanos,
             });
-            k.stats.extend(bank.stats());
+            k.stats.extend(bank.take_stats());
             k.simulated = k.configs.len();
             for (slot, sink) in k.sinks[k.streamed_sinks..].iter_mut().zip(sinks) {
                 *slot = Some(sink);

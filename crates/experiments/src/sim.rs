@@ -1,6 +1,6 @@
 //! Evaluation-trace simulation helpers.
 
-use impact_cache::{AccessSink, CacheBank, CacheConfig, CacheStats};
+use impact_cache::{CacheBank, CacheConfig, CacheStats};
 use impact_ir::Program;
 use impact_layout::Placement;
 use impact_profile::ExecLimits;
@@ -38,8 +38,8 @@ pub fn simulate_counted(
 ) -> (Vec<CacheStats>, u64) {
     let mut bank = CacheBank::new(configs.iter().copied());
     let gen = TraceGenerator::new(program, placement).with_limits(limits);
-    let summary = gen.run(eval_seed, |addr| bank.access(addr));
-    (bank.stats(), summary.instructions)
+    let summary = gen.stream(eval_seed, &mut bank);
+    (bank.take_stats(), summary.instructions)
 }
 
 #[cfg(test)]

@@ -109,42 +109,102 @@ impl std::error::Error for DinReadError {}
 /// `sink`; data references are skipped. Returns the number of fetches
 /// delivered.
 ///
+/// Convenience wrapper over [`read_din_runs`] for per-address callbacks;
+/// simulation sinks should implement
+/// [`AccessSink`](impact_cache::AccessSink) and use `read_din_runs` to
+/// receive batched runs.
+///
 /// # Errors
 ///
 /// Returns [`DinReadError`] on I/O failure or a malformed record. Blank
 /// lines and `#` comments are tolerated (some tools emit them).
-pub fn read_din<R: BufRead, F: FnMut(u64)>(reader: R, mut sink: F) -> Result<u64, DinReadError> {
+pub fn read_din<R: BufRead, F: FnMut(u64)>(reader: R, sink: F) -> Result<u64, DinReadError> {
+    read_din_runs(reader, &mut impact_cache::FnSink(sink))
+}
+
+/// Streams every *instruction fetch* (label 2) of a din trace into
+/// `sink`, coalescing consecutive word-sequential fetches into runs —
+/// one [`AccessSink::access_run`](impact_cache::AccessSink::access_run)
+/// per sequential stretch. Data references are skipped (they also split
+/// runs: a fetch is "consecutive" only if no other record intervenes).
+/// Returns the number of fetches delivered.
+///
+/// Lines are read into one reused buffer, so arbitrarily long traces
+/// stream without per-line allocation.
+///
+/// # Errors
+///
+/// Returns [`DinReadError`] on I/O failure or a malformed record; any
+/// run pending at the error point is flushed to `sink` first, so
+/// delivered fetches are exactly the well-formed prefix.
+pub fn read_din_runs<R: BufRead, S: impact_cache::AccessSink>(
+    mut reader: R,
+    sink: &mut S,
+) -> Result<u64, DinReadError> {
     let mut fetches = 0u64;
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line.map_err(DinReadError::Io)?;
+    let mut run_start = 0u64;
+    let mut run_words = 0u64;
+    let mut line = String::new();
+    let mut idx = 0usize;
+    loop {
+        line.clear();
+        let eof = match reader.read_line(&mut line) {
+            Ok(0) => true,
+            Ok(_) => false,
+            Err(e) => {
+                flush_run(sink, run_start, run_words);
+                return Err(DinReadError::Io(e));
+            }
+        };
+        if eof {
+            flush_run(sink, run_start, run_words);
+            return Ok(fetches);
+        }
+        idx += 1;
         let text = line.trim();
         if text.is_empty() || text.starts_with('#') {
             continue;
         }
-        let malformed = || {
-            DinReadError::Parse(DinParseError {
-                line: idx + 1,
+        let Some((label, addr)) = parse_record(text) else {
+            flush_run(sink, run_start, run_words);
+            return Err(DinReadError::Parse(DinParseError {
+                line: idx,
                 text: text.to_owned(),
-            })
+            }));
         };
-        let mut parts = text.split_whitespace();
-        let label: u8 = parts
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(malformed)?;
-        let addr = parts
-            .next()
-            .and_then(|t| u64::from_str_radix(t.trim_start_matches("0x"), 16).ok())
-            .ok_or_else(malformed)?;
-        if label > 2 || parts.next().is_some() {
-            return Err(malformed());
-        }
         if label == 2 {
-            sink(addr);
             fetches += 1;
+            if run_words > 0 && addr == run_start + run_words * impact_cache::WORD_BYTES {
+                run_words += 1;
+                continue;
+            }
+            flush_run(sink, run_start, run_words);
+            run_start = addr;
+            run_words = 1;
+        } else {
+            // A data reference between two fetches means the fetches were
+            // not back-to-back; end the run at the record boundary.
+            flush_run(sink, run_start, run_words);
+            run_words = 0;
         }
     }
-    Ok(fetches)
+}
+
+/// Parses one non-blank din record; `None` if malformed.
+fn parse_record(text: &str) -> Option<(u8, u64)> {
+    let mut parts = text.split_whitespace();
+    let label: u8 = parts.next()?.parse().ok()?;
+    let addr = u64::from_str_radix(parts.next()?.trim_start_matches("0x"), 16).ok()?;
+    if label > 2 || parts.next().is_some() {
+        return None;
+    }
+    Some((label, addr))
+}
+
+fn flush_run<S: impact_cache::AccessSink>(sink: &mut S, start: u64, words: u64) {
+    if words > 0 {
+        sink.access_run(start, words);
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +271,41 @@ mod tests {
         assert!(read_din(din.as_bytes(), |_| {}).is_err());
         let din = "2 10 extra\n"; // trailing junk
         assert!(read_din(din.as_bytes(), |_| {}).is_err());
+    }
+
+    #[test]
+    fn read_din_runs_coalesces_sequential_fetches() {
+        struct Runs(Vec<(u64, u64)>);
+        impl impact_cache::AccessSink for Runs {
+            fn access(&mut self, _addr: u64) {
+                unreachable!("runs only");
+            }
+            fn access_run(&mut self, addr: u64, words: u64) {
+                self.0.push((addr, words));
+            }
+        }
+        // Three sequential fetches, a jump, two more, a data reference
+        // splitting an otherwise-sequential pair.
+        let din = "2 0\n2 4\n2 8\n2 100\n2 104\n0 beef\n2 108\n";
+        let mut runs = Runs(Vec::new());
+        let n = read_din_runs(din.as_bytes(), &mut runs).unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(runs.0, vec![(0, 3), (0x100, 2), (0x108, 1)]);
+    }
+
+    #[test]
+    fn read_din_runs_flushes_prefix_before_error() {
+        struct Count(u64);
+        impl impact_cache::AccessSink for Count {
+            fn access(&mut self, _addr: u64) {
+                self.0 += 1;
+            }
+        }
+        let din = "2 0\n2 4\nbogus\n2 8\n";
+        let mut sink = Count(0);
+        let err = read_din_runs(din.as_bytes(), &mut sink).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        assert_eq!(sink.0, 2, "well-formed prefix must be delivered");
     }
 
     #[test]

@@ -45,6 +45,7 @@
 
 pub mod din;
 
+use impact_cache::{AccessSink, FnSink};
 use impact_ir::{BlockId, FuncId, Program, BYTES_PER_INSTR};
 use impact_layout::Placement;
 use impact_profile::{ExecLimits, ExecSummary, ExecVisitor, Transfer, Walker};
@@ -57,19 +58,46 @@ pub struct TraceGenerator<'a> {
     limits: ExecLimits,
 }
 
-/// Visitor translating executed blocks into fetch addresses.
-struct AddressEmitter<'a, F> {
+/// Visitor coalescing executed blocks into sequential fetch *runs*.
+///
+/// Consecutive blocks whose placements fall through (the next block's
+/// base is exactly the end of the pending run) extend one run; a taken
+/// transfer to anywhere else flushes it. The sink therefore receives one
+/// `access_run` per straight-line stretch of the dynamic execution —
+/// orders of magnitude fewer calls than per-word emission, with an
+/// identical address stream.
+struct RunEmitter<'a, S> {
     placement: &'a Placement,
     program: &'a Program,
-    emit: F,
+    sink: &'a mut S,
+    /// Base address of the pending run (meaningful when `run_words > 0`).
+    run_start: u64,
+    /// Pending run length in instructions.
+    run_words: u64,
 }
 
-impl<F: FnMut(u64)> ExecVisitor for AddressEmitter<'_, F> {
+impl<S: AccessSink> RunEmitter<'_, S> {
+    fn flush(&mut self) {
+        if self.run_words > 0 {
+            self.sink.access_run(self.run_start, self.run_words);
+            self.run_words = 0;
+        }
+    }
+}
+
+impl<S: AccessSink> ExecVisitor for RunEmitter<'_, S> {
     fn block(&mut self, func: FuncId, block: BlockId) {
         let base = self.placement.addr(func, block);
         let instrs = self.program.function(func).block(block).instr_count();
-        for i in 0..instrs {
-            (self.emit)(base + i * BYTES_PER_INSTR);
+        if instrs == 0 {
+            return; // empty blocks fetch nothing and break no runs
+        }
+        if self.run_words > 0 && base == self.run_start + self.run_words * BYTES_PER_INSTR {
+            self.run_words += instrs; // fall-through: extend the run
+        } else {
+            self.flush();
+            self.run_start = base;
+            self.run_words = instrs;
         }
     }
 
@@ -102,15 +130,31 @@ impl<'a> TraceGenerator<'a> {
     /// Runs one execution under `input_seed`, streaming every fetch
     /// address to `emit`. Returns the walk summary; the number of
     /// addresses emitted equals `summary.instructions`.
+    ///
+    /// Convenience wrapper over [`TraceGenerator::stream`] for callers
+    /// that want per-word callbacks; simulation sinks should implement
+    /// [`AccessSink`] and use `stream` to receive batched runs.
     pub fn run<F: FnMut(u64)>(&self, input_seed: u64, emit: F) -> ExecSummary {
-        let mut visitor = AddressEmitter {
+        self.stream(input_seed, &mut FnSink(emit))
+    }
+
+    /// Runs one execution under `input_seed`, streaming the fetch stream
+    /// to `sink` as sequential *runs*: one [`AccessSink::access_run`] per
+    /// straight-line stretch (split only at taken transfers), covering
+    /// exactly `summary.instructions` words in execution order.
+    pub fn stream<S: AccessSink>(&self, input_seed: u64, sink: &mut S) -> ExecSummary {
+        let mut visitor = RunEmitter {
             placement: self.placement,
             program: self.program,
-            emit,
+            sink,
+            run_start: 0,
+            run_words: 0,
         };
-        Walker::new(self.program)
+        let summary = Walker::new(self.program)
             .with_limits(self.limits)
-            .run(input_seed, &mut visitor)
+            .run(input_seed, &mut visitor);
+        visitor.flush();
+        summary
     }
 
     /// Convenience: materializes the whole trace (tests and small runs
@@ -222,6 +266,45 @@ mod tests {
         // program has no dead blocks only if all blocks executed; filter
         // instead on the guarantee that fetched addresses < total.
         assert!(trace.iter().all(|&a| a < r.placement.total_bytes()));
+    }
+
+    #[test]
+    fn stream_runs_reconstruct_the_word_trace() {
+        // One run per straight-line stretch: expanding the runs word by
+        // word must yield exactly the per-word trace, and every run must
+        // be non-trivial (non-zero length, aligned start).
+        let p = program();
+        for placement in [baseline::natural(&p), baseline::random(&p, 5)] {
+            let gen = TraceGenerator::new(&p, &placement);
+            for seed in [1, 7, TraceGenerator::DEFAULT_EVAL_SEED] {
+                struct Runs(Vec<(u64, u64)>);
+                impl impact_cache::AccessSink for Runs {
+                    fn access(&mut self, _addr: u64) {
+                        unreachable!("stream must emit whole runs");
+                    }
+                    fn access_run(&mut self, addr: u64, words: u64) {
+                        self.0.push((addr, words));
+                    }
+                }
+                let mut runs = Runs(Vec::new());
+                let summary = gen.stream(seed, &mut runs);
+                let expanded: Vec<u64> = runs
+                    .0
+                    .iter()
+                    .flat_map(|&(a, n)| (0..n).map(move |i| a + i * BYTES_PER_INSTR))
+                    .collect();
+                assert_eq!(expanded, gen.collect(seed));
+                assert_eq!(expanded.len() as u64, summary.instructions);
+                assert!(runs
+                    .0
+                    .iter()
+                    .all(|&(a, n)| n > 0 && a % BYTES_PER_INSTR == 0));
+                // Runs are maximal: consecutive runs never abut.
+                for w in runs.0.windows(2) {
+                    assert_ne!(w[1].0, w[0].0 + w[0].1 * BYTES_PER_INSTR);
+                }
+            }
+        }
     }
 
     #[test]

@@ -44,7 +44,7 @@ use std::process::ExitCode;
 
 use impact::analyze::CheckedPipeline;
 use impact::asm::{parse_program, print_program};
-use impact::cache::{AccessSink, Associativity, Cache, CacheConfig, FillPolicy};
+use impact::cache::{Associativity, Cache, CacheConfig, FillPolicy};
 use impact::ir::Program;
 use impact::layout::materialize::materialize;
 use impact::layout::pipeline::{Pipeline, PipelineConfig};
@@ -424,9 +424,9 @@ fn simtrace(opts: &Options) -> ExitCode {
     };
     let mut cache = Cache::new(config);
     let reader = std::io::BufReader::new(file);
-    match impact::trace::din::read_din(reader, |addr| cache.access(addr)) {
+    match impact::trace::din::read_din_runs(reader, &mut cache) {
         Ok(_) => {
-            let stats = cache.stats();
+            let stats = cache.take_stats();
             println!(
                 "{}: {} fetches | miss {:.4}% | traffic {:.2}%",
                 opts.file,
@@ -499,8 +499,8 @@ fn sim(program: &Program, opts: &Options) -> ExitCode {
 
     let mut cache = Cache::new(config);
     let gen = TraceGenerator::new(&sim_program, &placement).with_limits(opts.limits());
-    let summary = gen.run(opts.seed, |addr| cache.access(addr));
-    let stats = cache.stats();
+    let summary = gen.stream(opts.seed, &mut cache);
+    let stats = cache.take_stats();
     println!(
         "{} layout, {}B cache, {}B blocks, seed {}:",
         if opts.optimize {
