@@ -218,6 +218,32 @@ impl ToJson for Report {
     }
 }
 
+impl Report {
+    /// The `{"target": ..., "report": ...}` object both `impact lint
+    /// --json` (one per target, collected into an array) and the
+    /// `impact serve` `/v1/lint` endpoint emit — one implementation so
+    /// the two surfaces stay byte-for-byte identical.
+    #[must_use]
+    pub fn to_json_for_target(&self, target: &str) -> Json {
+        Json::Obj(vec![
+            ("target".to_string(), target.to_json()),
+            ("report".to_string(), self.to_json()),
+        ])
+    }
+}
+
+/// The JSON document `impact lint --json` prints: an array with one
+/// [`Report::to_json_for_target`] entry per linted target.
+#[must_use]
+pub fn reports_to_json<'a>(reports: impl IntoIterator<Item = (&'a str, &'a Report)>) -> Json {
+    Json::Arr(
+        reports
+            .into_iter()
+            .map(|(target, report)| report.to_json_for_target(target))
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +274,18 @@ mod tests {
         assert!(!r.is_clean());
         assert_eq!(r.error_count(), 1);
         assert_eq!(r.with_code("IPA101").count(), 1);
+    }
+
+    #[test]
+    fn targeted_json_wraps_the_report() {
+        let mut r = Report::default();
+        r.diagnostics
+            .push(Diagnostic::warning("IPA201", Location::program(), "hot"));
+        let row = r.to_json_for_target("wc").to_string();
+        assert!(row.starts_with(r#"{"target":"wc","report":"#), "{row}");
+        let arr = reports_to_json([("wc", &r), ("grep", &r)]).to_string();
+        assert!(arr.contains(r#""target":"grep""#), "{arr}");
+        assert!(arr.starts_with('['), "{arr}");
     }
 
     #[test]

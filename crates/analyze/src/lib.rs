@@ -46,7 +46,7 @@ pub mod placement;
 pub mod program;
 
 pub use cache::ConflictConfig;
-pub use diag::{Diagnostic, Location, Report, Severity};
+pub use diag::{reports_to_json, Diagnostic, Location, Report, Severity};
 pub use pass::{Context, Pass, Registry};
 
 use impact_ir::Program;

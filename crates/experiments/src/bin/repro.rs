@@ -57,6 +57,13 @@ fn main() -> ExitCode {
             },
             "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => jobs = Some(n),
+                Some(0) => {
+                    eprintln!(
+                        "repro: --jobs must be at least 1 (0 worker threads cannot \
+                         make progress); omit --jobs to size from the CPU count"
+                    );
+                    return ExitCode::FAILURE;
+                }
                 _ => return usage(),
             },
             "all" => selected.extend(runner::TABLE_IDS),

@@ -651,6 +651,84 @@ impl SimSession {
     }
 }
 
+/// A [`SimSession`] behind interior locking, shareable across threads.
+///
+/// The table runners own their session and drive the plan / execute /
+/// serve phases explicitly; a long-lived service (`impact serve`) instead
+/// wants one engine that many request-handler threads hit concurrently.
+/// `SharedSimSession` wraps the session in a [`Mutex`](std::sync::Mutex)
+/// and exposes the one-shot [`evaluate`](SharedSimSession::evaluate)
+/// cycle: request → execute → serve under a single lock hold.
+///
+/// Memoization carries across calls — and across threads — because every
+/// evaluation is interned in the same underlying session: a repeated
+/// `(program, placement, seed, limits, config)` demand is served from the
+/// memo without re-streaming its trace ([`SimSession::execute`] returns
+/// immediately when nothing is pending). Holding the lock for the whole
+/// cycle serializes trace streaming, which is deliberate: the engine's
+/// own worker fan-out ([`SimSession::with_jobs`]) parallelizes *inside*
+/// an evaluation, and callers above it (HTTP workers) parallelize
+/// parsing, placement, and rendering outside the lock.
+pub struct SharedSimSession {
+    inner: std::sync::Mutex<SimSession>,
+}
+
+impl std::fmt::Debug for SharedSimSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSimSession").finish_non_exhaustive()
+    }
+}
+
+impl SharedSimSession {
+    /// Wraps a fresh session that executes with up to `jobs` workers.
+    #[must_use]
+    pub fn with_jobs(jobs: usize) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(SimSession::with_jobs(jobs)),
+        }
+    }
+
+    /// Statistics for `configs` over the evaluation trace of
+    /// `(program, placement)` under `seed` and `limits`, plus the trace
+    /// length — the locked counterpart of `sim::simulate_counted`,
+    /// memo-served whenever this session has already streamed the key.
+    #[must_use]
+    pub fn evaluate(
+        &self,
+        program: &Program,
+        placement: &Placement,
+        seed: u64,
+        limits: ExecLimits,
+        configs: &[CacheConfig],
+    ) -> (Vec<CacheStats>, u64) {
+        let mut s = self.lock();
+        let handle = s.request(program, placement, seed, limits, configs);
+        s.execute();
+        s.counted(&handle)
+    }
+
+    /// Snapshot of the underlying session's observability counters.
+    #[must_use]
+    pub fn metrics(&self) -> SimMetrics {
+        self.lock().metrics()
+    }
+
+    /// Runs `f` with the locked session (for callers that need the full
+    /// plan / execute / serve API, e.g. to attach sinks).
+    pub fn with_session<R>(&self, f: impl FnOnce(&mut SimSession) -> R) -> R {
+        f(&mut self.lock())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SimSession> {
+        // A panic while streaming poisons the lock; the session's own
+        // state stays coherent (results are filed serially after the
+        // parallel phase), so recover rather than wedging the service.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 /// Structural fingerprint of an evaluation-trace key.
 ///
 /// Covers everything the trace depends on: program shape (block sizes,
@@ -879,6 +957,31 @@ mod tests {
             fingerprint(&w.program, &p1, 1, LIMITS),
             fingerprint(&w.program, &p1, 2, LIMITS)
         );
+    }
+
+    #[test]
+    fn shared_session_memoizes_across_threads() {
+        let w = impact_workloads::by_name("cmp").unwrap();
+        let placement = baseline::natural(&w.program);
+        let cfg = [CacheConfig::direct_mapped(2048, 64)];
+        let direct = sim::simulate_counted(&w.program, &placement, 7, LIMITS, &cfg);
+
+        let shared = SharedSimSession::with_jobs(1);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..3 {
+                        let got = shared.evaluate(&w.program, &placement, 7, LIMITS, &cfg);
+                        assert_eq!(got, direct);
+                    }
+                });
+            }
+        });
+        let m = shared.metrics();
+        assert_eq!(m.traces_streamed, 1, "11 of 12 evaluations memo-served");
+        assert_eq!(m.unique_traces, 1);
+        assert_eq!(m.requests, 12);
+        assert_eq!(m.memo_served, 11);
     }
 
     #[test]

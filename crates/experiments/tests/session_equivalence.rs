@@ -123,3 +123,21 @@ fn repro_binary_output_is_identical_for_any_job_count() {
     };
     assert_eq!(run("1"), run("4"), "table bytes must not depend on --jobs");
 }
+
+#[test]
+fn repro_rejects_zero_jobs_with_a_specific_message() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["table1", "--fast", "--jobs", "0"])
+        .output()
+        .expect("repro runs");
+    assert!(!out.status.success(), "--jobs 0 must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--jobs must be at least 1"),
+        "error must name the flag and the constraint, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("usage:"),
+        "a specific error, not the generic usage text: {stderr}"
+    );
+}

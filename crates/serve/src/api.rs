@@ -1,0 +1,719 @@
+//! Request decoding, routing, and the endpoint handlers.
+//!
+//! Handlers are plain functions from [`Request`] to [`Response`] over a
+//! shared [`AppState`], so they unit-test without sockets. All bodies are
+//! JSON (decoded with [`impact_support::json::parse`]); programs travel
+//! inside them as `impact-asm` text.
+//!
+//! | Route | Body | Result |
+//! |---|---|---|
+//! | `POST /v1/lint` | `{"program", "name"?, "runs"?, "max_instrs"?}` | the `impact lint --json` document |
+//! | `POST /v1/layout` | `{"program", "name"?, "runs"?, "max_instrs"?, "min_prob"?}` | placement + quality metrics |
+//! | `POST /v1/simulate` | `{"program", "configs", "seed"?, "max_instrs"?, "layout"?, "runs"?}` | per-config cache statistics |
+//! | `GET /metrics` | — | counters, latency histogram, memo hit rate |
+
+use impact_analyze::{reports_to_json, CheckedPipeline};
+use impact_asm::parse_program;
+use impact_cache::{Associativity, CacheConfig, CacheStats, FillPolicy, Replacement};
+use impact_experiments::session::SharedSimSession;
+use impact_ir::Program;
+use impact_layout::pipeline::{Pipeline, PipelineConfig};
+use impact_layout::{baseline, Placement};
+use impact_profile::ExecLimits;
+use impact_support::json::{parse as parse_json, Json, ToJson};
+
+use crate::http::{Request, Response};
+use crate::metrics::{Endpoint, Metrics};
+
+/// Default evaluation input seed (the CLI's `--seed` default).
+pub const DEFAULT_SEED: u64 = 1_000_003;
+/// Default dynamic instruction cap (the CLI's `--max-instrs` default).
+pub const DEFAULT_MAX_INSTRS: u64 = 5_000_000;
+/// Default profiling runs (the CLI's `--runs` default).
+pub const DEFAULT_RUNS: u32 = 8;
+
+/// Everything a request handler can reach: the long-lived memoizing
+/// evaluation engine and the service counters.
+#[derive(Debug)]
+pub struct AppState {
+    /// Fingerprint-keyed simulation engine, shared by every worker.
+    pub session: SharedSimSession,
+    /// Service counters rendered by `GET /metrics`.
+    pub metrics: Metrics,
+}
+
+impl AppState {
+    /// Fresh state whose evaluation engine streams with `sim_jobs`
+    /// worker threads per evaluation.
+    #[must_use]
+    pub fn new(sim_jobs: usize) -> Self {
+        Self {
+            session: SharedSimSession::with_jobs(sim_jobs),
+            metrics: Metrics::new(),
+        }
+    }
+}
+
+/// Dispatches one request to its handler; returns the endpoint label
+/// (for metrics) alongside the response.
+#[must_use]
+pub fn route(state: &AppState, req: &Request) -> (Endpoint, Response) {
+    const ROUTES: [(&str, &str); 5] = [
+        ("POST", "/v1/lint"),
+        ("POST", "/v1/layout"),
+        ("POST", "/v1/simulate"),
+        ("GET", "/metrics"),
+        ("GET", "/healthz"),
+    ];
+    match (req.method.as_str(), req.path()) {
+        ("POST", "/v1/lint") => (Endpoint::Lint, lint(req)),
+        ("POST", "/v1/layout") => (Endpoint::Layout, layout(req)),
+        ("POST", "/v1/simulate") => (Endpoint::Simulate, simulate(state, req)),
+        ("GET", "/metrics") => (
+            Endpoint::Metrics,
+            Response::json(200, &state.metrics.to_json(&state.session.metrics())),
+        ),
+        ("GET", "/healthz") => (
+            Endpoint::Other,
+            Response::json(200, &Json::Obj(vec![("ok".to_string(), Json::Bool(true))])),
+        ),
+        (method, path) => {
+            if let Some((allowed, _)) = ROUTES.iter().find(|(_, p)| *p == path) {
+                let resp = Response::error(
+                    405,
+                    format!("{method} is not supported on {path}; use {allowed}"),
+                )
+                .with_header("Allow", *allowed);
+                (Endpoint::Other, resp)
+            } else {
+                (
+                    Endpoint::Other,
+                    Response::error(404, format!("no route for {path}")),
+                )
+            }
+        }
+    }
+}
+
+/// `POST /v1/lint` — run the full `impact-analyze` registry over the
+/// submitted program's pipeline run. The body is byte-for-byte the
+/// document `impact lint --json` prints for one target: both surfaces
+/// call [`impact_analyze::reports_to_json`].
+fn lint(req: &Request) -> Response {
+    let doc = match decode_body(req) {
+        Ok(d) => d,
+        Err(resp) => return *resp,
+    };
+    let (name, program, common) = match decode_program(&doc) {
+        Ok(p) => p,
+        Err(resp) => return *resp,
+    };
+    let checked = CheckedPipeline::new(Pipeline::new(common.pipeline_config()));
+    match checked.try_run(&program) {
+        Ok((_, report)) => Response::json(200, &reports_to_json([(name.as_str(), &report)])),
+        Err(e) => Response::error(400, e.to_string()),
+    }
+}
+
+/// `POST /v1/layout` — run the five-step placement pipeline and return
+/// the placement plus its quality metrics.
+fn layout(req: &Request) -> Response {
+    let doc = match decode_body(req) {
+        Ok(d) => d,
+        Err(resp) => return *resp,
+    };
+    let (name, program, common) = match decode_program(&doc) {
+        Ok(p) => p,
+        Err(resp) => return *resp,
+    };
+    let mut config = common.pipeline_config();
+    match field_f64(&doc, "min_prob") {
+        Ok(Some(p)) => config.min_prob = p,
+        Ok(None) => {}
+        Err(resp) => return *resp,
+    }
+    let result = match Pipeline::new(config).try_run(&program) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, e.to_string()),
+    };
+
+    let placement_doc = Json::Arr(
+        result
+            .program
+            .functions()
+            .map(|(fid, func)| {
+                let blocks: Vec<Json> = (0..func.block_count())
+                    .map(|b| {
+                        result
+                            .placement
+                            .addr(fid, impact_ir::BlockId::new(b))
+                            .to_json()
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("function".to_string(), func.name().to_json()),
+                    ("blocks".to_string(), Json::Arr(blocks)),
+                ])
+            })
+            .collect(),
+    );
+    let order = Json::Arr(
+        result
+            .global
+            .order()
+            .iter()
+            .map(|&f| result.program.function(f).name().to_json())
+            .collect(),
+    );
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("name".to_string(), name.to_json()),
+            (
+                "total_bytes".to_string(),
+                result.total_static_bytes().to_json(),
+            ),
+            (
+                "effective_bytes".to_string(),
+                result.effective_static_bytes().to_json(),
+            ),
+            (
+                "inline".to_string(),
+                Json::Obj(vec![
+                    (
+                        "code_increase".to_string(),
+                        result.inline_report.code_increase.to_json(),
+                    ),
+                    (
+                        "call_decrease".to_string(),
+                        result.inline_report.call_decrease.to_json(),
+                    ),
+                    (
+                        "instrs_per_call".to_string(),
+                        result.inline_report.instrs_per_call.to_json(),
+                    ),
+                    (
+                        "transfers_per_call".to_string(),
+                        result.inline_report.transfers_per_call.to_json(),
+                    ),
+                ]),
+            ),
+            (
+                "trace_quality".to_string(),
+                Json::Obj(vec![
+                    (
+                        "desirable".to_string(),
+                        result.trace_quality.desirable.to_json(),
+                    ),
+                    (
+                        "neutral".to_string(),
+                        result.trace_quality.neutral.to_json(),
+                    ),
+                    (
+                        "undesirable".to_string(),
+                        result.trace_quality.undesirable.to_json(),
+                    ),
+                    (
+                        "mean_trace_length".to_string(),
+                        result.trace_quality.mean_trace_length.to_json(),
+                    ),
+                ]),
+            ),
+            ("function_order".to_string(), order),
+            ("placement".to_string(), placement_doc),
+        ]),
+    )
+}
+
+/// `POST /v1/simulate` — evaluate cache configurations over the
+/// program's trace through the long-lived memoizing session.
+fn simulate(state: &AppState, req: &Request) -> Response {
+    let doc = match decode_body(req) {
+        Ok(d) => d,
+        Err(resp) => return *resp,
+    };
+    let (_, program, common) = match decode_program(&doc) {
+        Ok(p) => p,
+        Err(resp) => return *resp,
+    };
+    let seed = match field_u64(&doc, "seed") {
+        Ok(v) => v.unwrap_or(DEFAULT_SEED),
+        Err(resp) => return *resp,
+    };
+    let configs = match decode_configs(&doc) {
+        Ok(c) => c,
+        Err(resp) => return *resp,
+    };
+    let layout_kind = match doc.get("layout") {
+        None => "natural",
+        Some(v) => match v.as_str() {
+            Some(k @ ("natural" | "optimized")) => k,
+            _ => {
+                return Response::error(
+                    400,
+                    "field \"layout\" must be \"natural\" or \"optimized\"",
+                )
+            }
+        },
+    };
+
+    let (sim_program, placement): (Program, Placement) = if layout_kind == "optimized" {
+        match Pipeline::new(common.pipeline_config()).try_run(&program) {
+            Ok(r) => (r.program, r.placement),
+            Err(e) => return Response::error(400, e.to_string()),
+        }
+    } else {
+        let placement = baseline::natural(&program);
+        (program, placement)
+    };
+
+    let (stats, instructions) =
+        state
+            .session
+            .evaluate(&sim_program, &placement, seed, common.limits(), &configs);
+    Response::json(
+        200,
+        &simulate_response_json(layout_kind, seed, &configs, &stats, instructions),
+    )
+}
+
+/// The `POST /v1/simulate` response document. Public so the integration
+/// tests (and any client) can rebuild the expected bytes from a direct
+/// [`SimSession`](impact_experiments::session::SimSession) evaluation and
+/// assert bit-identical service output.
+#[must_use]
+pub fn simulate_response_json(
+    layout: &str,
+    seed: u64,
+    configs: &[CacheConfig],
+    stats: &[CacheStats],
+    instructions: u64,
+) -> Json {
+    let results = configs
+        .iter()
+        .zip(stats)
+        .map(|(config, s)| {
+            Json::Obj(vec![
+                ("config".to_string(), config_to_json(config)),
+                ("accesses".to_string(), s.accesses.to_json()),
+                ("misses".to_string(), s.misses.to_json()),
+                ("words_fetched".to_string(), s.words_fetched.to_json()),
+                ("miss_ratio".to_string(), s.miss_ratio().to_json()),
+                ("traffic_ratio".to_string(), s.traffic_ratio().to_json()),
+                ("avg_fetch".to_string(), s.avg_fetch().to_json()),
+                ("avg_exec".to_string(), s.avg_exec().to_json()),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("layout".to_string(), layout.to_json()),
+        ("seed".to_string(), seed.to_json()),
+        ("instructions".to_string(), instructions.to_json()),
+        ("results".to_string(), Json::Arr(results)),
+    ])
+}
+
+/// Echo of one cache configuration in the simulate response.
+fn config_to_json(c: &CacheConfig) -> Json {
+    let assoc = match c.associativity {
+        Associativity::Direct => Json::Str("direct".to_string()),
+        Associativity::Full => Json::Str("full".to_string()),
+        Associativity::Ways(n) => n.to_json(),
+    };
+    let fill = match c.fill {
+        FillPolicy::FullBlock => "full".to_string(),
+        FillPolicy::Partial => "partial".to_string(),
+        FillPolicy::Sectored { sector_bytes } => format!("sector:{sector_bytes}"),
+    };
+    let replacement = match c.replacement {
+        Replacement::Lru => "lru",
+        Replacement::Fifo => "fifo",
+        Replacement::Random => "random",
+    };
+    Json::Obj(vec![
+        ("size".to_string(), c.size_bytes.to_json()),
+        ("block".to_string(), c.block_bytes.to_json()),
+        ("assoc".to_string(), assoc),
+        ("fill".to_string(), fill.to_json()),
+        ("replacement".to_string(), replacement.to_json()),
+    ])
+}
+
+/// Request parameters shared by every program-accepting endpoint.
+struct CommonParams {
+    runs: u32,
+    max_instrs: u64,
+}
+
+impl CommonParams {
+    fn limits(&self) -> ExecLimits {
+        ExecLimits {
+            max_instructions: self.max_instrs,
+            max_call_depth: 512,
+        }
+    }
+
+    fn pipeline_config(&self) -> PipelineConfig {
+        PipelineConfig {
+            profile_runs: self.runs,
+            limits: self.limits(),
+            ..PipelineConfig::default()
+        }
+    }
+}
+
+/// Boxed so the `Result` stays one machine word on the happy path.
+type Reject = Box<Response>;
+
+fn reject(status: u16, message: impl Into<String>) -> Reject {
+    Box::new(Response::error(status, message))
+}
+
+fn decode_body(req: &Request) -> Result<Json, Reject> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| reject(400, "request body is not valid UTF-8"))?;
+    if text.trim().is_empty() {
+        return Err(reject(400, "request body must be a JSON object"));
+    }
+    parse_json(text).map_err(|e| reject(400, format!("request body is not valid JSON: {e}")))
+}
+
+/// Decodes the `program` (impact-asm text), optional `name`, and the
+/// common numeric parameters.
+fn decode_program(doc: &Json) -> Result<(String, Program, CommonParams), Reject> {
+    let Some(text) = doc.get("program").and_then(Json::as_str) else {
+        return Err(reject(
+            400,
+            "missing \"program\" field (a string of impact-asm text)",
+        ));
+    };
+    let program =
+        parse_program(text).map_err(|e| reject(400, format!("cannot parse \"program\": {e}")))?;
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("<request>")
+        .to_string();
+    let runs = match field_u64(doc, "runs")? {
+        None => DEFAULT_RUNS,
+        Some(r) => u32::try_from(r)
+            .ok()
+            .filter(|&r| r >= 1)
+            .ok_or_else(|| reject(400, "field \"runs\" must be a positive integer"))?,
+    };
+    let max_instrs = field_u64(doc, "max_instrs")?.unwrap_or(DEFAULT_MAX_INSTRS);
+    Ok((name, program, CommonParams { runs, max_instrs }))
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<Option<u64>, Reject> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| reject(400, format!("field {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn field_f64(doc: &Json, key: &str) -> Result<Option<f64>, Reject> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| reject(400, format!("field {key:?} must be a number"))),
+    }
+}
+
+/// Decodes the `configs` array of cache descriptions.
+fn decode_configs(doc: &Json) -> Result<Vec<CacheConfig>, Reject> {
+    let Some(items) = doc.get("configs").and_then(Json::as_arr) else {
+        return Err(reject(
+            400,
+            "missing \"configs\" field (an array of cache configurations)",
+        ));
+    };
+    if items.is_empty() {
+        return Err(reject(400, "\"configs\" must name at least one cache"));
+    }
+    items.iter().map(decode_config).collect()
+}
+
+fn decode_config(item: &Json) -> Result<CacheConfig, Reject> {
+    let Some(size) = item.get("size").and_then(Json::as_u64) else {
+        return Err(reject(
+            400,
+            "each config needs a \"size\" field (cache bytes)",
+        ));
+    };
+    let block = field_u64(item, "block")?.unwrap_or(64);
+    let associativity = match item.get("assoc") {
+        None => Associativity::Direct,
+        Some(v) => match (v.as_str(), v.as_u64()) {
+            (Some("direct"), _) => Associativity::Direct,
+            (Some("full"), _) => Associativity::Full,
+            (_, Some(n)) if n >= 1 => Associativity::Ways(
+                u32::try_from(n)
+                    .map_err(|_| reject(400, "field \"assoc\" way count is out of range"))?,
+            ),
+            _ => {
+                return Err(reject(
+                    400,
+                    "field \"assoc\" must be \"direct\", \"full\", or a way count",
+                ))
+            }
+        },
+    };
+    let fill = match item.get("fill") {
+        None => FillPolicy::FullBlock,
+        Some(v) => match v.as_str() {
+            Some("full") => FillPolicy::FullBlock,
+            Some("partial") => FillPolicy::Partial,
+            Some(s) => match s.strip_prefix("sector:").and_then(|n| n.parse().ok()) {
+                Some(sector_bytes) => FillPolicy::Sectored { sector_bytes },
+                None => {
+                    return Err(reject(
+                        400,
+                        "field \"fill\" must be \"full\", \"partial\", or \"sector:<bytes>\"",
+                    ))
+                }
+            },
+            None => {
+                return Err(reject(
+                    400,
+                    "field \"fill\" must be \"full\", \"partial\", or \"sector:<bytes>\"",
+                ))
+            }
+        },
+    };
+    let replacement = match item.get("replacement") {
+        None => Replacement::Lru,
+        Some(v) => match v.as_str() {
+            Some("lru") => Replacement::Lru,
+            Some("fifo") => Replacement::Fifo,
+            Some("random") => Replacement::Random,
+            _ => {
+                return Err(reject(
+                    400,
+                    "field \"replacement\" must be \"lru\", \"fifo\", or \"random\"",
+                ))
+            }
+        },
+    };
+    let config = CacheConfig {
+        size_bytes: size,
+        block_bytes: block,
+        associativity,
+        fill,
+        replacement,
+    };
+    config
+        .validate()
+        .map_err(|e| reject(400, format!("bad cache configuration: {e}")))?;
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            target: path.to_string(),
+            http11: true,
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            target: path.to_string(),
+            http11: true,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn program_text() -> String {
+        impact_asm::print_program(&impact_workloads::by_name("cmp").unwrap().program)
+    }
+
+    fn body_json(resp: &Response) -> Json {
+        parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        let state = AppState::new(1);
+        let (ep, resp) = route(&state, &get("/nope"));
+        assert_eq!(ep, Endpoint::Other);
+        assert_eq!(resp.status, 404);
+        let (_, resp) = route(&state, &get("/v1/simulate"));
+        assert_eq!(resp.status, 405);
+        assert!(resp
+            .headers
+            .iter()
+            .any(|(n, v)| n == "Allow" && v == "POST"));
+        let (_, resp) = route(&state, &get("/healthz"));
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn bad_bodies_are_rejected_with_positions() {
+        let state = AppState::new(1);
+        let (_, resp) = route(&state, &post("/v1/lint", "{\n  broken"));
+        assert_eq!(resp.status, 400);
+        let msg = body_json(&resp);
+        let text = msg.get("error").and_then(Json::as_str).unwrap().to_string();
+        assert!(text.contains("line 2"), "{text}");
+
+        let (_, resp) = route(&state, &post("/v1/simulate", "{}"));
+        assert_eq!(resp.status, 400);
+        let (_, resp) = route(
+            &state,
+            &post(
+                "/v1/simulate",
+                r#"{"program": "not asm", "configs": [{"size": 512}]}"#,
+            ),
+        );
+        assert_eq!(resp.status, 400);
+        assert!(String::from_utf8_lossy(&resp.body).contains("cannot parse"));
+    }
+
+    #[test]
+    fn invalid_cache_configs_are_rejected() {
+        let state = AppState::new(1);
+        let body = format!(
+            r#"{{"program": {}, "configs": [{{"size": 3}}]}}"#,
+            Json::Str(program_text()),
+        );
+        let (_, resp) = route(&state, &post("/v1/simulate", &body));
+        assert_eq!(resp.status, 400);
+        assert!(String::from_utf8_lossy(&resp.body).contains("power of two"));
+    }
+
+    #[test]
+    fn simulate_matches_direct_evaluation_and_memoizes() {
+        let state = AppState::new(1);
+        let text = program_text();
+        let body = format!(
+            r#"{{"program": {}, "seed": 7, "max_instrs": 40000,
+                "configs": [{{"size": 2048}}, {{"size": 512, "assoc": 2}}]}}"#,
+            Json::Str(text.clone()),
+        );
+        let req = post("/v1/simulate", &body);
+        let (ep, resp) = route(&state, &req);
+        assert_eq!(ep, Endpoint::Simulate);
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+
+        // Rebuild the expected bytes from a direct evaluation.
+        let program = parse_program(&text).unwrap();
+        let placement = baseline::natural(&program);
+        let configs = [
+            CacheConfig::direct_mapped(2048, 64),
+            CacheConfig {
+                size_bytes: 512,
+                block_bytes: 64,
+                associativity: Associativity::Ways(2),
+                fill: FillPolicy::FullBlock,
+                replacement: Replacement::Lru,
+            },
+        ];
+        let limits = ExecLimits {
+            max_instructions: 40_000,
+            max_call_depth: 512,
+        };
+        let mut session = impact_experiments::session::SimSession::new();
+        let handle = session.request(&program, &placement, 7, limits, &configs);
+        session.execute();
+        let (stats, instructions) = session.counted(&handle);
+        let expected = Response::json(
+            200,
+            &simulate_response_json("natural", 7, &configs, &stats, instructions),
+        );
+        assert_eq!(resp.body, expected.body, "service must be bit-identical");
+
+        // A repeat of the same request must not stream a second trace.
+        let streamed = state.session.metrics().traces_streamed;
+        let (_, resp2) = route(&state, &req);
+        assert_eq!(resp2.body, resp.body);
+        assert_eq!(state.session.metrics().traces_streamed, streamed);
+        assert!(state.session.metrics().memo_served >= 2);
+    }
+
+    #[test]
+    fn lint_matches_the_cli_document() {
+        let state = AppState::new(1);
+        let text = program_text();
+        let body = format!(
+            r#"{{"program": {}, "name": "cmp", "runs": 2, "max_instrs": 60000}}"#,
+            Json::Str(text.clone()),
+        );
+        let (_, resp) = route(&state, &post("/v1/lint", &body));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+
+        // Same implementation as `impact lint --json`: reports_to_json.
+        let program = parse_program(&text).unwrap();
+        let config = PipelineConfig {
+            profile_runs: 2,
+            limits: ExecLimits {
+                max_instructions: 60_000,
+                max_call_depth: 512,
+            },
+            ..PipelineConfig::default()
+        };
+        let (_, report) = CheckedPipeline::new(Pipeline::new(config))
+            .try_run(&program)
+            .unwrap();
+        let expected = Response::json(200, &reports_to_json([("cmp", &report)]));
+        assert_eq!(resp.body, expected.body);
+    }
+
+    #[test]
+    fn layout_reports_placement_and_quality() {
+        let state = AppState::new(1);
+        let body = format!(
+            r#"{{"program": {}, "runs": 2, "max_instrs": 60000}}"#,
+            Json::Str(program_text()),
+        );
+        let (_, resp) = route(&state, &post("/v1/layout", &body));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = body_json(&resp);
+        assert!(doc.get("total_bytes").and_then(Json::as_u64).unwrap() > 0);
+        let placement = doc.get("placement").and_then(Json::as_arr).unwrap();
+        assert!(!placement.is_empty());
+        assert!(placement[0].get("blocks").and_then(Json::as_arr).is_some());
+        assert!(doc.get("trace_quality").unwrap().get("desirable").is_some());
+        // Deterministic: same request, same bytes.
+        let (_, resp2) = route(&state, &post("/v1/layout", &body));
+        assert_eq!(resp.body, resp2.body);
+    }
+
+    #[test]
+    fn optimized_simulate_layout_is_accepted() {
+        let state = AppState::new(1);
+        let body = format!(
+            r#"{{"program": {}, "layout": "optimized", "runs": 2, "seed": 3,
+                "max_instrs": 40000, "configs": [{{"size": 1024}}]}}"#,
+            Json::Str(program_text()),
+        );
+        let (_, resp) = route(&state, &post("/v1/simulate", &body));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = body_json(&resp);
+        assert_eq!(doc.get("layout").and_then(Json::as_str), Some("optimized"));
+    }
+
+    #[test]
+    fn metrics_endpoint_reflects_traffic() {
+        let state = AppState::new(1);
+        state.metrics.record(Endpoint::Simulate, 200, 10);
+        let (_, resp) = route(&state, &get("/metrics"));
+        assert_eq!(resp.status, 200);
+        let doc = body_json(&resp);
+        assert_eq!(doc.get("requests_total").and_then(Json::as_u64), Some(1));
+        assert!(doc.get("sim").unwrap().get("memo_hit_rate").is_some());
+    }
+}

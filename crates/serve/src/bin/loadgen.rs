@@ -1,0 +1,396 @@
+//! `loadgen` — workload replay and latency benchmark for `impact serve`.
+//!
+//! Two modes:
+//!
+//! - `loadgen --smoke --addr HOST:PORT` drives one request per endpoint
+//!   and exits nonzero unless every response is healthy (used by CI).
+//! - `loadgen --addr HOST:PORT [--connections N] [--requests N] [--out
+//!   PATH]` replays three phases over `N` parallel connections and
+//!   writes throughput + p50/p90/p99 latency to `BENCH_serve.json`:
+//!
+//!   1. **cold** — every simulate request carries a fresh seed, so each
+//!      one streams a new trace through the session;
+//!   2. **warm** — every request is identical, so the session serves
+//!      memoized statistics without re-streaming;
+//!   3. **mixed** — lint, layout, simulate, and metrics interleaved.
+//!
+//!   The warm/cold throughput ratio is the memoization payoff the
+//!   service exists to provide.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::thread;
+use std::time::Instant;
+
+use impact_serve::client::Client;
+use impact_support::json::{parse as parse_json, Json, ToJson};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: loadgen --addr HOST:PORT [--smoke] [--connections N] \
+         [--requests N] [--out PATH] [--seed N]"
+    );
+    ExitCode::FAILURE
+}
+
+struct Options {
+    addr: SocketAddr,
+    smoke: bool,
+    connections: usize,
+    requests: usize,
+    out: String,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut addr = None;
+    let mut smoke = false;
+    let mut connections = 4usize;
+    let mut requests = 200usize;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut seed = 1_000_003u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let raw = args.next().ok_or_else(usage)?;
+                addr = raw.to_socket_addrs().ok().and_then(|mut a| a.next());
+                if addr.is_none() {
+                    eprintln!("loadgen: cannot resolve --addr {raw}");
+                    return Err(ExitCode::FAILURE);
+                }
+            }
+            "--smoke" => smoke = true,
+            "--connections" => {
+                connections = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(usage)?;
+            }
+            "--requests" => {
+                requests = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(usage)?;
+            }
+            "--out" => out = args.next().ok_or_else(usage)?,
+            "--seed" => seed = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?,
+            _ => return Err(usage()),
+        }
+    }
+    let Some(addr) = addr else {
+        return Err(usage());
+    };
+    Ok(Options {
+        addr,
+        smoke,
+        connections,
+        requests,
+        out,
+        seed,
+    })
+}
+
+/// The benchmark program, shipped as impact-asm text in every request.
+fn program_text() -> String {
+    let workload = impact_workloads::by_name("cmp").expect("cmp workload exists");
+    impact_asm::print_program(&workload.program)
+}
+
+fn simulate_body(program: &Json, seed: u64) -> String {
+    // Enough dynamic instructions that trace streaming dominates a cold
+    // request — the memoized path skips exactly this work.
+    format!(
+        r#"{{"program": {program}, "seed": {seed}, "max_instrs": 2000000,
+           "configs": [{{"size": 2048}}, {{"size": 512, "assoc": 2}}]}}"#
+    )
+}
+
+fn lint_body(program: &Json) -> String {
+    format!(r#"{{"program": {program}, "name": "loadgen", "runs": 2, "max_instrs": 40000}}"#)
+}
+
+fn layout_body(program: &Json) -> String {
+    format!(r#"{{"program": {program}, "runs": 2, "max_instrs": 40000}}"#)
+}
+
+fn smoke(opts: &Options) -> ExitCode {
+    let program = Json::Str(program_text());
+    let mut client = match Client::connect(opts.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("loadgen: cannot connect to {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let checks: [(&str, &str, Option<String>); 5] = [
+        ("GET", "/healthz", None),
+        ("POST", "/v1/lint", Some(lint_body(&program))),
+        ("POST", "/v1/layout", Some(layout_body(&program))),
+        (
+            "POST",
+            "/v1/simulate",
+            Some(simulate_body(&program, opts.seed)),
+        ),
+        ("GET", "/metrics", None),
+    ];
+    for (method, path, body) in checks {
+        match client.request(method, path, body.as_deref()) {
+            Ok(resp) if resp.status == 200 && !resp.body.is_empty() => {
+                println!("smoke {method} {path}: 200 ({} bytes)", resp.body.len());
+            }
+            Ok(resp) => {
+                eprintln!(
+                    "smoke {method} {path}: status {} body {}",
+                    resp.status,
+                    String::from_utf8_lossy(&resp.body)
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("smoke {method} {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("smoke: all endpoints healthy");
+    ExitCode::SUCCESS
+}
+
+/// Latencies (µs) from one phase, plus its wall-clock seconds.
+struct Phase {
+    latencies_us: Vec<u64>,
+    wall_secs: f64,
+}
+
+impl Phase {
+    fn rps(&self) -> f64 {
+        if self.wall_secs == 0.0 {
+            0.0
+        } else {
+            self.latencies_us.len() as f64 / self.wall_secs
+        }
+    }
+
+    fn percentile(&self, p: f64) -> u64 {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        if sorted.is_empty() {
+            return 0;
+        }
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "requests".to_string(),
+                (self.latencies_us.len() as u64).to_json(),
+            ),
+            ("wall_secs".to_string(), self.wall_secs.to_json()),
+            ("rps".to_string(), self.rps().to_json()),
+            ("p50_us".to_string(), self.percentile(50.0).to_json()),
+            ("p90_us".to_string(), self.percentile(90.0).to_json()),
+            ("p99_us".to_string(), self.percentile(99.0).to_json()),
+        ])
+    }
+}
+
+/// Runs `total` requests across `connections` threads; `body(i)` builds
+/// the i-th request body (None means `GET /metrics`).
+fn run_phase(
+    addr: SocketAddr,
+    connections: usize,
+    total: usize,
+    body: impl Fn(usize) -> (String, Option<String>) + Send + Sync,
+) -> Result<Phase, String> {
+    let started = Instant::now();
+    let latencies = thread::scope(|scope| {
+        let body = &body;
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                scope.spawn(move || -> Result<Vec<u64>, String> {
+                    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                    let mut lat = Vec::new();
+                    let mut i = c;
+                    while i < total {
+                        let (path, payload) = body(i);
+                        let t = Instant::now();
+                        let resp = match payload {
+                            Some(ref json) => client.post_json(&path, json),
+                            None => client.request("GET", &path, None),
+                        };
+                        match resp {
+                            Ok(r) if r.status == 200 => {
+                                lat.push(
+                                    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX),
+                                );
+                            }
+                            Ok(r) if r.status == 503 => {
+                                // Shed: honor Retry-After and reconnect
+                                // (the server closes shed connections).
+                                thread::sleep(std::time::Duration::from_millis(50));
+                                client =
+                                    Client::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+                                continue;
+                            }
+                            Ok(r) => {
+                                return Err(format!(
+                                    "{path}: status {} body {}",
+                                    r.status,
+                                    String::from_utf8_lossy(&r.body)
+                                ))
+                            }
+                            Err(e) => return Err(format!("{path}: {e}")),
+                        }
+                        i += connections;
+                    }
+                    Ok(lat)
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(Ok(lat)) => all.extend(lat),
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err("phase worker panicked".to_string()),
+            }
+        }
+        Ok(all)
+    })?;
+    Ok(Phase {
+        latencies_us: latencies,
+        wall_secs: started.elapsed().as_secs_f64(),
+    })
+}
+
+fn bench(opts: &Options) -> ExitCode {
+    let program = Json::Str(program_text());
+    println!(
+        "loadgen: {} requests/phase over {} connections against {}",
+        opts.requests, opts.connections, opts.addr
+    );
+
+    // Phase 1 — cold: a fresh seed per request forces a new trace each
+    // time; this is the price of evaluation without memoization.
+    let seed = opts.seed;
+    let cold = match run_phase(opts.addr, opts.connections, opts.requests, |i| {
+        (
+            "/v1/simulate".to_string(),
+            Some(simulate_body(&program, seed + 1 + i as u64)),
+        )
+    }) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("loadgen: cold phase failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "cold:  {:>8.1} req/s  p99 {:>8} us",
+        cold.rps(),
+        cold.percentile(99.0)
+    );
+
+    // Phase 2 — warm: every request identical, so after the first the
+    // session serves memoized statistics without re-streaming.
+    let warm = match run_phase(opts.addr, opts.connections, opts.requests, |_| {
+        (
+            "/v1/simulate".to_string(),
+            Some(simulate_body(&program, seed)),
+        )
+    }) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("loadgen: warm phase failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "warm:  {:>8.1} req/s  p99 {:>8} us",
+        warm.rps(),
+        warm.percentile(99.0)
+    );
+
+    // Phase 3 — mixed: the workload shape a real client produces.
+    let mixed = match run_phase(opts.addr, opts.connections, opts.requests, |i| {
+        match i % 8 {
+            0 => ("/v1/lint".to_string(), Some(lint_body(&program))),
+            1 => ("/v1/layout".to_string(), Some(layout_body(&program))),
+            7 => ("/metrics".to_string(), None),
+            _ => (
+                "/v1/simulate".to_string(),
+                Some(simulate_body(&program, seed)),
+            ),
+        }
+    }) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("loadgen: mixed phase failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "mixed: {:>8.1} req/s  p99 {:>8} us",
+        mixed.rps(),
+        mixed.percentile(99.0)
+    );
+
+    let metrics_after = Client::connect(opts.addr)
+        .and_then(|mut c| c.get("/metrics"))
+        .ok()
+        .and_then(|(status, body)| {
+            if status != 200 {
+                return None;
+            }
+            parse_json(std::str::from_utf8(&body).ok()?).ok()
+        })
+        .unwrap_or(Json::Null);
+
+    let speedup = if cold.rps() == 0.0 {
+        0.0
+    } else {
+        warm.rps() / cold.rps()
+    };
+    println!("warm/cold speedup: {speedup:.1}x");
+
+    let doc = Json::Obj(vec![
+        ("bench".to_string(), "impact-serve loadgen".to_json()),
+        ("addr".to_string(), opts.addr.to_string().to_json()),
+        (
+            "connections".to_string(),
+            (opts.connections as u64).to_json(),
+        ),
+        (
+            "requests_per_phase".to_string(),
+            (opts.requests as u64).to_json(),
+        ),
+        ("cold".to_string(), cold.to_json()),
+        ("warm".to_string(), warm.to_json()),
+        ("mixed".to_string(), mixed.to_json()),
+        ("warm_over_cold_speedup".to_string(), speedup.to_json()),
+        ("server_metrics".to_string(), metrics_after),
+    ]);
+    if let Err(e) = std::fs::write(&opts.out, doc.to_string_pretty() + "\n") {
+        eprintln!("loadgen: cannot write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", opts.out);
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    if opts.smoke {
+        smoke(&opts)
+    } else {
+        bench(&opts)
+    }
+}

@@ -1,0 +1,40 @@
+//! `impact-serve` — a concurrent placement-and-simulation HTTP service
+//! over the IMPACT-I evaluation engine.
+//!
+//! The service turns the repo's batch tooling into a long-lived daemon:
+//! a dependency-free HTTP/1.1 server (plain `std::net`) with a fixed
+//! worker pool, a bounded accept queue that sheds overload with `503 ` +
+//! `Retry-After`, per-request timeouts, and graceful shutdown on
+//! SIGTERM or stdin EOF. Its endpoints mirror the CLI surfaces:
+//!
+//! - `POST /v1/lint` — the `impact-analyze` registry over a submitted
+//!   program (same JSON document as `impact lint --json`, rendered by
+//!   the same [`impact_analyze::reports_to_json`] call).
+//! - `POST /v1/layout` — the five-step IMPACT-I pipeline, returning the
+//!   placement and its quality metrics.
+//! - `POST /v1/simulate` — cache evaluation through one long-lived,
+//!   fingerprint-keyed
+//!   [`SimSession`](impact_experiments::session::SimSession), so a
+//!   placement evaluated twice is memo-served rather than re-streamed.
+//! - `GET /metrics` — request counters, a latency histogram, queue
+//!   depth, and the session's memo hit rate.
+//!
+//! The [`client`] module is a matching minimal HTTP client used by the
+//! integration tests, the CI smoke check, and the `loadgen` benchmark
+//! binary (which writes `BENCH_serve.json`).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod signal;
+
+pub use api::{simulate_response_json, AppState};
+pub use client::{Client, ClientResponse};
+pub use http::{Request, Response};
+pub use metrics::{Endpoint, Metrics, LATENCY_BUCKETS_US};
+pub use server::{ServeConfig, Server};

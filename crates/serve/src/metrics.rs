@@ -1,0 +1,309 @@
+//! Service observability: request counters, latency histogram, queue
+//! depth, and the evaluation engine's memo counters, rendered as the
+//! `GET /metrics` JSON document.
+//!
+//! Everything is lock-free atomics so the hot path (one `record` per
+//! request) never contends with scrapes.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use impact_experiments::session::SimMetrics;
+use impact_support::json::{Json, ToJson};
+
+/// Upper bounds (inclusive, microseconds) of the latency histogram
+/// buckets; an implicit overflow bucket catches the rest.
+pub const LATENCY_BUCKETS_US: [u64; 12] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+];
+
+/// The endpoints the router distinguishes (for per-endpoint counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/lint`
+    Lint,
+    /// `POST /v1/layout`
+    Layout,
+    /// `POST /v1/simulate`
+    Simulate,
+    /// `GET /metrics`
+    Metrics,
+    /// Anything else (404/405/400 paths).
+    Other,
+}
+
+impl Endpoint {
+    const ALL: [Endpoint; 5] = [
+        Endpoint::Lint,
+        Endpoint::Layout,
+        Endpoint::Simulate,
+        Endpoint::Metrics,
+        Endpoint::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Lint => 0,
+            Endpoint::Layout => 1,
+            Endpoint::Simulate => 2,
+            Endpoint::Metrics => 3,
+            Endpoint::Other => 4,
+        }
+    }
+
+    /// Stable label used in the metrics document.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Lint => "lint",
+            Endpoint::Layout => "layout",
+            Endpoint::Simulate => "simulate",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+/// Atomic counter block for the whole service.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: [AtomicU64; 5],
+    status_2xx: AtomicU64,
+    status_4xx: AtomicU64,
+    status_5xx: AtomicU64,
+    /// 503s written by the accept loop without dispatching a worker.
+    shed: AtomicU64,
+    /// Connections accepted into the worker pool.
+    connections: AtomicU64,
+    /// Requests dropped because the bytes never parsed as HTTP.
+    read_errors: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    latency_sum_us: AtomicU64,
+    latency_count: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_peak: AtomicU64,
+}
+
+impl Metrics {
+    /// A zeroed counter block.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one routed request: endpoint, response status, and
+    /// handler latency in microseconds.
+    pub fn record(&self, endpoint: Endpoint, status: u16, micros: u64) {
+        self.requests[endpoint.index()].fetch_add(1, Relaxed);
+        match status {
+            200..=299 => &self.status_2xx,
+            400..=499 => &self.status_4xx,
+            _ => &self.status_5xx,
+        }
+        .fetch_add(1, Relaxed);
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&b| micros <= b)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.latency[bucket].fetch_add(1, Relaxed);
+        self.latency_sum_us.fetch_add(micros, Relaxed);
+        self.latency_count.fetch_add(1, Relaxed);
+    }
+
+    /// Records a load-shedding 503 written from the accept loop.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Relaxed);
+    }
+
+    /// Records a connection handed to the worker pool.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Relaxed);
+    }
+
+    /// Records a connection whose bytes never parsed as a request.
+    pub fn record_read_error(&self) {
+        self.read_errors.fetch_add(1, Relaxed);
+    }
+
+    /// Updates the queue-depth gauge (and its high-water mark).
+    pub fn set_queue_depth(&self, depth: usize) {
+        let depth = depth as u64;
+        self.queue_depth.store(depth, Relaxed);
+        self.queue_peak.fetch_max(depth, Relaxed);
+    }
+
+    /// Requests routed so far (all endpoints).
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        Endpoint::ALL
+            .iter()
+            .map(|e| self.requests[e.index()].load(Relaxed))
+            .sum()
+    }
+
+    /// 503s shed so far.
+    #[must_use]
+    pub fn total_shed(&self) -> u64 {
+        self.shed.load(Relaxed)
+    }
+
+    /// The `GET /metrics` document. `session` supplies the evaluation
+    /// engine's memo counters (summarized here — the per-stream records
+    /// grow without bound in a long-lived service, so they stay out).
+    #[must_use]
+    pub fn to_json(&self, session: &SimMetrics) -> Json {
+        let by_endpoint = Json::Obj(
+            Endpoint::ALL
+                .iter()
+                .map(|e| {
+                    (
+                        e.label().to_string(),
+                        self.requests[e.index()].load(Relaxed).to_json(),
+                    )
+                })
+                .collect(),
+        );
+        let mut buckets: Vec<Json> = Vec::new();
+        for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+            buckets.push(Json::Obj(vec![
+                ("le_us".to_string(), bound.to_json()),
+                ("count".to_string(), self.latency[i].load(Relaxed).to_json()),
+            ]));
+        }
+        buckets.push(Json::Obj(vec![
+            ("le_us".to_string(), Json::Null),
+            (
+                "count".to_string(),
+                self.latency[LATENCY_BUCKETS_US.len()]
+                    .load(Relaxed)
+                    .to_json(),
+            ),
+        ]));
+        let count = self.latency_count.load(Relaxed);
+        let sum = self.latency_sum_us.load(Relaxed);
+        let memo_hit_rate = if session.configs_requested == 0 {
+            0.0
+        } else {
+            session.memo_served as f64 / session.configs_requested as f64
+        };
+        Json::Obj(vec![
+            (
+                "requests_total".to_string(),
+                self.total_requests().to_json(),
+            ),
+            ("requests_by_endpoint".to_string(), by_endpoint),
+            (
+                "responses_2xx".to_string(),
+                self.status_2xx.load(Relaxed).to_json(),
+            ),
+            (
+                "responses_4xx".to_string(),
+                self.status_4xx.load(Relaxed).to_json(),
+            ),
+            (
+                "responses_5xx".to_string(),
+                self.status_5xx.load(Relaxed).to_json(),
+            ),
+            ("shed_503".to_string(), self.shed.load(Relaxed).to_json()),
+            (
+                "connections".to_string(),
+                self.connections.load(Relaxed).to_json(),
+            ),
+            (
+                "read_errors".to_string(),
+                self.read_errors.load(Relaxed).to_json(),
+            ),
+            (
+                "queue_depth".to_string(),
+                self.queue_depth.load(Relaxed).to_json(),
+            ),
+            (
+                "queue_peak".to_string(),
+                self.queue_peak.load(Relaxed).to_json(),
+            ),
+            ("latency_us_buckets".to_string(), Json::Arr(buckets)),
+            ("latency_us_sum".to_string(), sum.to_json()),
+            ("latency_count".to_string(), count.to_json()),
+            (
+                "latency_us_mean".to_string(),
+                if count == 0 {
+                    0.0
+                } else {
+                    sum as f64 / count as f64
+                }
+                .to_json(),
+            ),
+            (
+                "sim".to_string(),
+                Json::Obj(vec![
+                    ("unique_traces".to_string(), session.unique_traces.to_json()),
+                    (
+                        "traces_streamed".to_string(),
+                        session.traces_streamed.to_json(),
+                    ),
+                    ("restreams".to_string(), session.restreams.to_json()),
+                    ("memo_key_hits".to_string(), session.memo_key_hits.to_json()),
+                    (
+                        "configs_requested".to_string(),
+                        session.configs_requested.to_json(),
+                    ),
+                    (
+                        "configs_simulated".to_string(),
+                        session.configs_simulated.to_json(),
+                    ),
+                    ("memo_served".to_string(), session.memo_served.to_json()),
+                    ("memo_hit_rate".to_string(), memo_hit_rate.to_json()),
+                    ("instructions".to_string(), session.instructions.to_json()),
+                    (
+                        "instrs_per_sec".to_string(),
+                        session.instrs_per_sec().to_json(),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = Metrics::new();
+        m.record(Endpoint::Simulate, 200, 80);
+        m.record(Endpoint::Simulate, 200, 3_000);
+        m.record(Endpoint::Lint, 400, 20_000_000);
+        m.record_shed();
+        m.record_connection();
+        m.set_queue_depth(5);
+        m.set_queue_depth(2);
+        assert_eq!(m.total_requests(), 3);
+        assert_eq!(m.total_shed(), 1);
+
+        let doc = m.to_json(&SimMetrics::default());
+        assert_eq!(doc.get("requests_total").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("responses_2xx").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("responses_4xx").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("shed_503").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("queue_depth").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("queue_peak").and_then(Json::as_u64), Some(5));
+        let by = doc.get("requests_by_endpoint").unwrap();
+        assert_eq!(by.get("simulate").and_then(Json::as_u64), Some(2));
+        let buckets = doc
+            .get("latency_us_buckets")
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(buckets.len(), LATENCY_BUCKETS_US.len() + 1);
+        // 80µs → first bucket; 20s → overflow bucket.
+        assert_eq!(buckets[0].get("count").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            buckets.last().unwrap().get("count").and_then(Json::as_u64),
+            Some(1)
+        );
+        // The document itself must round-trip through the parser.
+        assert_eq!(
+            impact_support::json::parse(&doc.to_string_pretty()).as_ref(),
+            Ok(&doc)
+        );
+    }
+}

@@ -1,0 +1,345 @@
+//! The concurrent HTTP server: accept loop, bounded dispatch queue,
+//! fixed worker pool, load shedding, and graceful shutdown.
+//!
+//! Threading model (see DESIGN.md §"impact-serve"):
+//!
+//! - One accept thread polls a nonblocking listener so it can observe
+//!   the shutdown flag between accepts. Accepted connections go into a
+//!   bounded queue; when the queue is full the accept thread writes a
+//!   `503` + `Retry-After` itself and closes the socket — workers never
+//!   see shed load.
+//! - `workers` threads block on a condvar over the queue. Each pops a
+//!   connection and serves its keep-alive request loop to completion, so
+//!   a connection occupies exactly one worker at a time.
+//! - Shutdown sets an atomic flag: the accept thread stops accepting,
+//!   workers drain the queue and exit, and [`Server::stop`] joins them.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::api::{route, AppState};
+use crate::http::{read_request, HttpError, Response};
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a worker; beyond this
+    /// the accept loop sheds with `503`. Zero sheds everything (useful
+    /// for deterministic overload tests).
+    pub queue_cap: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Streaming threads inside each simulation evaluation.
+    pub sim_jobs: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            sim_jobs: 1,
+        }
+    }
+}
+
+/// Connections waiting for a worker.
+#[derive(Debug, Default)]
+struct Queue {
+    deque: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+impl Queue {
+    fn lock(&self) -> MutexGuard<'_, VecDeque<TcpStream>> {
+        self.deque.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A running service; dropping it without [`Server::stop`] detaches the
+/// threads (they keep serving until the process exits).
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept thread and worker pool, and returns
+    /// immediately. The service is ready as soon as this returns.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(AppState::new(config.sim_jobs));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(Queue::default());
+        let mut threads = Vec::with_capacity(config.workers + 1);
+
+        for i in 0..config.workers.max(1) {
+            let queue = Arc::clone(&queue);
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &state, &shutdown))
+                    .expect("spawn worker"),
+            );
+        }
+        {
+            let queue = Arc::clone(&queue);
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(
+                thread::Builder::new()
+                    .name("serve-accept".to_string())
+                    .spawn(move || accept_loop(&listener, &config, &queue, &state, &shutdown))
+                    .expect("spawn accept loop"),
+            );
+        }
+        Ok(Server {
+            addr,
+            state,
+            shutdown,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared application state (session + metrics).
+    #[must_use]
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// A clonable flag that stops the server when set (e.g. from a
+    /// signal handler or stdin watcher).
+    #[must_use]
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// True once shutdown has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and joins every thread. In-flight connections
+    /// finish their current request loop; queued connections are served
+    /// before workers exit.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until `self.shutdown` becomes true (set externally via
+    /// [`Server::shutdown_flag`]), then stops cleanly.
+    pub fn wait(self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(25));
+        }
+        self.stop();
+    }
+}
+
+/// Polls the nonblocking listener, shedding or enqueueing connections.
+fn accept_loop(
+    listener: &TcpListener,
+    config: &ServeConfig,
+    queue: &Queue,
+    state: &AppState,
+    shutdown: &AtomicBool,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_read_timeout(Some(config.read_timeout));
+                let _ = stream.set_write_timeout(Some(config.write_timeout));
+                // Responses are written as one frame; don't let Nagle
+                // hold them back waiting for an ACK.
+                let _ = stream.set_nodelay(true);
+                let mut q = queue.lock();
+                if q.len() >= config.queue_cap {
+                    drop(q);
+                    shed(stream, state);
+                } else {
+                    q.push_back(stream);
+                    state.metrics.set_queue_depth(q.len());
+                    drop(q);
+                    state.metrics.record_connection();
+                    queue.ready.notify_one();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Wake every worker so they observe the flag and drain the queue.
+    queue.ready.notify_all();
+}
+
+/// Writes the load-shedding response directly from the accept thread.
+fn shed(mut stream: TcpStream, state: &AppState) {
+    state.metrics.record_shed();
+    let resp =
+        Response::error(503, "server overloaded; retry shortly").with_header("Retry-After", "1");
+    let _ = resp.write(&mut stream, false);
+    let _ = stream.flush();
+}
+
+/// Pops connections until shutdown is requested and the queue is dry.
+fn worker_loop(queue: &Queue, state: &AppState, shutdown: &AtomicBool) {
+    loop {
+        let stream = {
+            let mut q = queue.lock();
+            loop {
+                if let Some(s) = q.pop_front() {
+                    state.metrics.set_queue_depth(q.len());
+                    break s;
+                }
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (guard, _) = queue
+                    .ready
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+        };
+        handle_connection(stream, state, shutdown);
+    }
+}
+
+/// Serves one connection's keep-alive request loop.
+fn handle_connection(stream: TcpStream, state: &AppState, shutdown: &AtomicBool) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean close between requests
+            Err(HttpError::Io(_)) => {
+                state.metrics.record_read_error();
+                return;
+            }
+            Err(HttpError::Malformed(msg)) => {
+                state.metrics.record_read_error();
+                let _ = Response::error(400, msg).write(&mut writer, false);
+                return;
+            }
+            Err(HttpError::TooLarge(what)) => {
+                state.metrics.record_read_error();
+                let _ = Response::error(413, format!("{what} too large")).write(&mut writer, false);
+                return;
+            }
+        };
+        let started = Instant::now();
+        let (endpoint, response) = match catch_unwind(AssertUnwindSafe(|| route(state, &req))) {
+            Ok(routed) => routed,
+            Err(_) => (
+                crate::metrics::Endpoint::Other,
+                Response::error(500, "internal error while handling the request"),
+            ),
+        };
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        state.metrics.record(endpoint, response.status, micros);
+        // Stop taking new requests on this connection once shutdown
+        // begins, but always finish answering the one we read.
+        let keep = req.keep_alive() && !shutdown.load(Ordering::SeqCst);
+        if response.write(&mut writer, keep).is_err() || !keep {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn tiny_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_cap: 16,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_health_and_404_over_tcp() {
+        let server = Server::start(tiny_config()).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let (status, body) = client.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert!(String::from_utf8_lossy(&body).contains("\"ok\""));
+        // Keep-alive: a second request on the same connection.
+        let (status, _) = client.get("/missing").unwrap();
+        assert_eq!(status, 404);
+        server.stop();
+    }
+
+    #[test]
+    fn zero_capacity_queue_sheds_with_retry_after() {
+        let server = Server::start(ServeConfig {
+            queue_cap: 0,
+            ..tiny_config()
+        })
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let resp = client.request("GET", "/healthz", None).unwrap();
+        assert_eq!(resp.status, 503);
+        assert!(resp
+            .headers
+            .iter()
+            .any(|(n, v)| n == "retry-after" && v == "1"));
+        assert!(server.state().metrics.total_shed() >= 1);
+        server.stop();
+    }
+
+    #[test]
+    fn stop_refuses_new_connections() {
+        let server = Server::start(tiny_config()).unwrap();
+        let addr = server.addr();
+        assert!(!server.is_shutting_down());
+        server.stop();
+        // The listener is gone; a fresh connect must fail (or be reset
+        // on first use).
+        let refused = match Client::connect(addr) {
+            Err(_) => true,
+            Ok(mut c) => c.get("/healthz").is_err(),
+        };
+        assert!(refused);
+    }
+}

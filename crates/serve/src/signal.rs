@@ -1,0 +1,83 @@
+//! Process shutdown triggers: SIGTERM/SIGINT (Unix) and stdin EOF.
+//!
+//! The handler installation is the one `unsafe` corner of the service
+//! (registering a C signal handler); everything it does is store a
+//! value into a static atomic flag, which is async-signal-safe.
+
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Set by the signal handler once SIGTERM or SIGINT arrives.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod unix {
+    use super::{Ordering, SIGNALLED};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // From libc, which is always linked: sighandler_t signal(int, sighandler_t).
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    #[allow(clippy::fn_to_numeric_cast_any)]
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Registers the SIGTERM/SIGINT handler (no-op off Unix).
+pub fn install() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+/// True once a termination signal has been observed.
+#[must_use]
+pub fn triggered() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
+/// Spawns a watcher that sets `flag` when either a termination signal
+/// arrives or stdin reaches EOF — the two ways a supervised `impact
+/// serve` is told to stop. Returns immediately.
+pub fn watch_shutdown(flag: Arc<AtomicBool>) {
+    install();
+    let signal_flag = Arc::clone(&flag);
+    thread::Builder::new()
+        .name("serve-signal-watch".to_string())
+        .spawn(move || loop {
+            if triggered() {
+                signal_flag.store(true, Ordering::SeqCst);
+                return;
+            }
+            thread::sleep(std::time::Duration::from_millis(50));
+        })
+        .expect("spawn signal watcher");
+    thread::Builder::new()
+        .name("serve-stdin-watch".to_string())
+        .spawn(move || {
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin();
+            loop {
+                match stdin.read(&mut sink) {
+                    Ok(0) | Err(_) => break, // EOF or unreadable: shut down
+                    Ok(_) => {}
+                }
+            }
+            flag.store(true, Ordering::SeqCst);
+        })
+        .expect("spawn stdin watcher");
+}

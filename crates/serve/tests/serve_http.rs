@@ -1,0 +1,188 @@
+//! End-to-end tests: a real `Server` on an ephemeral port, driven by
+//! parallel TCP clients through the full mixed workload.
+
+use std::thread;
+
+use impact_asm::{parse_program, print_program};
+use impact_cache::CacheConfig;
+use impact_experiments::session::SimSession;
+use impact_layout::baseline;
+use impact_profile::ExecLimits;
+use impact_serve::client::Client;
+use impact_serve::http::Response;
+use impact_serve::{simulate_response_json, ServeConfig, Server};
+use impact_support::json::{parse as parse_json, Json};
+
+fn start() -> Server {
+    Server::start(ServeConfig {
+        workers: 4,
+        queue_cap: 64,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+fn program_text() -> String {
+    print_program(&impact_workloads::by_name("cmp").unwrap().program)
+}
+
+fn simulate_body(program: &Json, seed: u64) -> String {
+    format!(
+        r#"{{"program": {program}, "seed": {seed}, "max_instrs": 40000,
+           "configs": [{{"size": 2048}}, {{"size": 512}}]}}"#
+    )
+}
+
+#[test]
+fn parallel_mixed_workload_end_to_end() {
+    let server = start();
+    let addr = server.addr();
+    let program = Json::Str(program_text());
+
+    // Four clients, each driving every endpoint over one keep-alive
+    // connection, all at once.
+    thread::scope(|scope| {
+        for seed in 1..=4u64 {
+            let program = &program;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let lint = format!(r#"{{"program": {program}, "runs": 2, "max_instrs": 40000}}"#);
+                let resp = client.post_json("/v1/lint", &lint).unwrap();
+                assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+                let resp = client.post_json("/v1/layout", &lint).unwrap();
+                assert_eq!(resp.status, 200);
+                let resp = client
+                    .post_json("/v1/simulate", &simulate_body(program, seed))
+                    .unwrap();
+                assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+                let (status, body) = client.get("/metrics").unwrap();
+                assert_eq!(status, 200);
+                assert!(!body.is_empty());
+            });
+        }
+    });
+
+    // Every request must be accounted for in the metrics document.
+    let mut client = Client::connect(addr).unwrap();
+    let (_, body) = client.get("/metrics").unwrap();
+    let doc = parse_json(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert!(doc.get("requests_total").and_then(Json::as_u64).unwrap() >= 16);
+    let by = doc.get("requests_by_endpoint").unwrap();
+    assert_eq!(by.get("simulate").and_then(Json::as_u64), Some(4));
+    assert_eq!(by.get("lint").and_then(Json::as_u64), Some(4));
+    server.stop();
+}
+
+#[test]
+fn simulate_is_bit_identical_to_direct_session_and_memoized() {
+    let server = start();
+    let text = program_text();
+    let program = Json::Str(text.clone());
+    let body = simulate_body(&program, 7);
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    let resp = client.post_json("/v1/simulate", &body).unwrap();
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+
+    // Rebuild the expected body from a direct SimSession evaluation.
+    let parsed = parse_program(&text).unwrap();
+    let placement = baseline::natural(&parsed);
+    let configs = [
+        CacheConfig::direct_mapped(2048, 64),
+        CacheConfig::direct_mapped(512, 64),
+    ];
+    let limits = ExecLimits {
+        max_instructions: 40_000,
+        max_call_depth: 512,
+    };
+    let mut session = SimSession::new();
+    let handle = session.request(&parsed, &placement, 7, limits, &configs);
+    session.execute();
+    let (stats, instructions) = session.counted(&handle);
+    let expected = Response::json(
+        200,
+        &simulate_response_json("natural", 7, &configs, &stats, instructions),
+    );
+    assert_eq!(resp.body, expected.body, "service must be bit-identical");
+
+    // Re-evaluating the same placement from several parallel clients
+    // must serve from the memo: the streamed-trace counter stays put.
+    let streamed_before = server.state().session.metrics().traces_streamed;
+    assert_eq!(streamed_before, 1);
+    thread::scope(|scope| {
+        for _ in 0..4 {
+            let body = &body;
+            let addr = server.addr();
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..3 {
+                    let resp = client.post_json("/v1/simulate", body).unwrap();
+                    assert_eq!(resp.status, 200);
+                }
+            });
+        }
+    });
+    let metrics = server.state().session.metrics();
+    assert_eq!(
+        metrics.traces_streamed, streamed_before,
+        "repeat placements must not re-stream"
+    );
+    assert!(metrics.memo_served >= 12);
+    server.stop();
+}
+
+#[test]
+fn bad_json_reports_the_position_over_http() {
+    let server = start();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let resp = client
+        .post_json("/v1/simulate", "{\n  \"program\": oops}")
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    let doc = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    let msg = doc.get("error").and_then(Json::as_str).unwrap();
+    assert!(msg.contains("line 2"), "{msg}");
+    server.stop();
+}
+
+#[test]
+fn overload_sheds_and_recovery_serves_again() {
+    // queue_cap = 0: the accept loop sheds every connection.
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_cap: 0,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let resp = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(resp.status, 503);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    assert!(server.state().metrics.total_shed() >= 1);
+    server.stop();
+
+    // A normally-provisioned server accepts the same traffic.
+    let server = start();
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert_eq!(client.get("/healthz").unwrap().0, 200);
+    server.stop();
+}
+
+#[test]
+fn graceful_shutdown_finishes_inflight_then_refuses() {
+    let server = start();
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.get("/healthz").unwrap().0, 200);
+
+    let flag = server.shutdown_flag();
+    let waiter = thread::spawn(move || server.wait());
+    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    waiter.join().unwrap();
+
+    let refused = match Client::connect(addr) {
+        Err(_) => true,
+        Ok(mut c) => c.get("/healthz").is_err(),
+    };
+    assert!(refused, "listener must be closed after shutdown");
+}

@@ -1,8 +1,11 @@
 //! A minimal JSON document model.
 //!
 //! Replaces `serde`/`serde_json` for the workspace's machine-readable
-//! output (experiment tables, lint diagnostics). Serialization only —
-//! nothing in the workspace parses JSON.
+//! input and output (experiment tables, lint diagnostics, `impact serve`
+//! request bodies). [`Json`] serializes via [`Display`](std::fmt::Display)
+//! / [`Json::to_string_pretty`] and parses back via [`parse`];
+//! `parse(render(x)) == x` holds for every finite document (the property
+//! tests below pin it).
 
 use std::fmt::Write as _;
 
@@ -34,6 +37,71 @@ impl std::fmt::Display for Json {
 }
 
 impl Json {
+    /// Member of an object, by key (first occurrence).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a `Num`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact unsigned integer (rejects
+    /// fractional, negative, and out-of-range values).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+            Json::Num(x) if *x >= 0.0 && x.trunc() == *x && *x <= 2f64.powi(53) => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an `Arr`.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an `Obj`.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Pretty rendering with two-space indentation.
     #[must_use]
     pub fn to_string_pretty(&self) -> String {
@@ -125,6 +193,303 @@ fn write_escaped(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// Where and why [`parse`] rejected its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// 1-based line of the offending byte.
+    pub line: usize,
+    /// 1-based column (in bytes) within that line.
+    pub col: usize,
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What was expected or found.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parses a JSON document (RFC 8259 subset: no duplicate-key policy,
+/// object keys keep their input order).
+///
+/// # Errors
+///
+/// Returns a [`JsonParseError`] carrying the line/column of the first
+/// offending byte for malformed input, trailing garbage, or nesting
+/// deeper than 128 levels.
+pub fn parse(src: &str) -> Result<Json, JsonParseError> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+/// Nesting cap for [`parse`]: deeper documents are rejected rather than
+/// risking a stack overflow on hostile input.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> JsonParseError {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..self.pos] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        JsonParseError {
+            line,
+            col,
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes `lit` (called with the first byte already matched).
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        match self.peek() {
+            None => Err(self.error("unexpected end of input, expected a value")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.error(format!(
+                "unexpected character `{}`, expected a value",
+                c as char
+            ))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.pos += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.error("expected a string object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.error("expected `:` after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            fields.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Bulk-copy the unescaped stretch.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // The input is valid UTF-8 and we only stopped on ASCII
+            // bytes, so this slice is on char boundaries.
+            out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii bounds"));
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // High surrogate: require the paired low half.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.error("unpaired surrogate escape"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.error("invalid low surrogate escape"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(cp)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.error("invalid \\u escape")),
+                            }
+                        }
+                        c => {
+                            self.pos -= 1;
+                            return Err(self.error(format!("invalid escape `\\{}`", c as char)));
+                        }
+                    }
+                }
+                Some(_) => {
+                    return Err(self.error("unescaped control character in string"));
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let text = std::str::from_utf8(slice).map_err(|_| self.error("non-hex \\u escape"))?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| self.error("non-hex \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => self.digits(),
+            _ => return Err(self.error("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit after `.`"));
+            }
+            self.digits();
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit in exponent"));
+            }
+            self.digits();
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Json::Num(x)),
+            _ => Err(self.error(format!("number `{text}` out of range"))),
+        }
+    }
+
+    fn digits(&mut self) {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+    }
 }
 
 /// Conversion into a [`Json`] value.
@@ -308,5 +673,126 @@ mod tests {
         assert_eq!(Some(3u32).to_json().to_string(), "3");
         assert_eq!(None::<u32>.to_json().to_string(), "null");
         assert_eq!((1u32, "x").to_json().to_string(), r#"[1,"x"]"#);
+    }
+
+    #[test]
+    fn parse_accepts_scalars() {
+        assert_eq!(parse("null"), Ok(Json::Null));
+        assert_eq!(parse(" true "), Ok(Json::Bool(true)));
+        assert_eq!(parse("false"), Ok(Json::Bool(false)));
+        assert_eq!(parse("42"), Ok(Json::Num(42.0)));
+        assert_eq!(parse("-0.5e2"), Ok(Json::Num(-50.0)));
+        assert_eq!(parse(r#""hi\nA""#), Ok(Json::Str("hi\nA".into())));
+        assert_eq!(parse(r#""🦀""#), Ok(Json::Str("🦀".into())));
+    }
+
+    #[test]
+    fn parse_accepts_containers() {
+        assert_eq!(
+            parse(r#"[1, [2], {}]"#),
+            Ok(Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Arr(vec![Json::Num(2.0)]),
+                Json::Obj(vec![]),
+            ]))
+        );
+        assert_eq!(
+            parse("{\n  \"a\": [true],\n  \"b\": \"x\"\n}"),
+            Ok(Json::Obj(vec![
+                ("a".into(), Json::Arr(vec![Json::Bool(true)])),
+                ("b".into(), Json::Str("x".into())),
+            ]))
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let e = parse("{\"a\": 1,\n  2}").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 3), "{e}");
+        assert!(e.message.contains("key"), "{e}");
+
+        let e = parse("[1, 2").unwrap_err();
+        assert!(e.message.contains("`]`"), "{e}");
+
+        let e = parse("007").unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+
+        let e = parse("[1] []").unwrap_err();
+        assert_eq!(e.col, 5, "{e}");
+
+        let e = parse("1e999").unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let e = parse(&deep).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
+    }
+
+    #[test]
+    fn parse_rejects_bad_strings() {
+        assert!(parse(r#""\x""#).is_err());
+        assert!(parse("\"a\nb\"").is_err());
+        assert!(parse(r#""\ud800""#).is_err());
+        assert!(parse(r#""abc"#).is_err());
+    }
+
+    #[test]
+    fn accessors_extract_payloads() {
+        let doc = parse(r#"{"n": 3, "s": "x", "b": true, "xs": [1], "f": 0.5}"#).unwrap();
+        assert_eq!(doc.get("n").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("f").and_then(Json::as_u64), None);
+        assert_eq!(doc.get("f").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(doc.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            doc.get("xs").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(doc.as_obj().map(<[(String, Json)]>::len), Some(5));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Json::Null.get("n"), None);
+    }
+
+    /// A random document: scalars lean on integers and dyadic fractions
+    /// (exact in `f64`), strings exercise the escape table.
+    fn gen_doc(rng: &mut crate::rng::Rng, depth: u32) -> Json {
+        let top = if depth >= 3 { 4 } else { 6 };
+        match rng.gen_below(top) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.gen_below(2) == 0),
+            2 => {
+                let base = rng.gen_below(1_000_000) as f64 - 500_000.0;
+                Json::Num(base + rng.gen_below(16) as f64 / 16.0)
+            }
+            3 => {
+                let alphabet = ['a', '"', '\\', '\n', '\t', 'é', '🦀', '\u{1}'];
+                let s: String = (0..rng.gen_below(12))
+                    .map(|_| alphabet[rng.gen_below(alphabet.len() as u64) as usize])
+                    .collect();
+                Json::Str(s)
+            }
+            4 => Json::Arr(
+                (0..rng.gen_below(4))
+                    .map(|_| gen_doc(rng, depth + 1))
+                    .collect(),
+            ),
+            _ => Json::Obj(
+                (0..rng.gen_below(4))
+                    .map(|i| (format!("k{i}"), gen_doc(rng, depth + 1)))
+                    .collect(),
+            ),
+        }
+    }
+
+    #[test]
+    fn property_parse_render_round_trips() {
+        crate::check::forall(
+            256,
+            |rng| gen_doc(rng, 0),
+            |doc| {
+                assert_eq!(parse(&doc.to_string()).as_ref(), Ok(doc));
+                assert_eq!(parse(&doc.to_string_pretty()).as_ref(), Ok(doc));
+            },
+        );
     }
 }

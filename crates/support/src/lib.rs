@@ -27,6 +27,6 @@ pub mod json;
 pub mod par;
 pub mod rng;
 
-pub use json::{Json, ToJson};
+pub use json::{parse as parse_json, Json, JsonParseError, ToJson};
 pub use par::parallel_map;
 pub use rng::Rng;

@@ -10,6 +10,8 @@
 //! impact simtrace <trace.din> [options]           simulate an external din trace
 //! impact lint     <file | workload | all>         run the static-analysis passes
 //!                                                 over the full pipeline
+//! impact serve    [serve options]                 placement-and-simulation HTTP
+//!                                                 service (see crates/serve)
 //!
 //! common options:
 //!   --runs N        profiling runs                      (default 8)
@@ -25,6 +27,16 @@
 //!
 //! lint options:
 //!   --json          emit diagnostics as JSON instead of text
+//!
+//! serve options:
+//!   --addr A        bind address                        (default 127.0.0.1:0)
+//!   --workers N     worker threads                      (default 4)
+//!   --queue N       accepted-connection queue bound     (default 64)
+//!   --timeout-ms N  per-connection read/write timeout   (default 10000)
+//!   --sim-jobs N    streaming threads per evaluation    (default 1)
+//!
+//! `impact serve` prints the bound address on stdout, then serves until
+//! SIGTERM/SIGINT or stdin EOF.
 //!
 //! `impact lint` accepts a `.impact` file, the name of a bundled workload
 //! (`wc`, `grep`, ...), or `all`. It runs the checked pipeline and prints
@@ -87,6 +99,7 @@ impl Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: impact <report|optimize|sim|viz|trace|simtrace|lint> <file.impact> [options]\n\
+         \u{20}      impact serve [--addr A] [--workers N] [--queue N] [--timeout-ms N] [--sim-jobs N]\n\
          see `src/bin/impact.rs` header for the option list"
     );
     ExitCode::FAILURE
@@ -97,6 +110,10 @@ fn main() -> ExitCode {
     let Some(command) = args.next() else {
         return usage();
     };
+    if command == "serve" {
+        // `serve` takes no program file; it has its own flag set.
+        return serve(args.collect());
+    }
 
     let mut opts = Options {
         file: String::new(),
@@ -243,8 +260,6 @@ fn lint_targets(opts: &Options) -> Result<Vec<(String, Program)>, String> {
 }
 
 fn lint(opts: &Options) -> ExitCode {
-    use impact::support::{Json, ToJson};
-
     let targets = match lint_targets(opts) {
         Ok(t) => t,
         Err(e) => {
@@ -255,7 +270,7 @@ fn lint(opts: &Options) -> ExitCode {
 
     let checked = CheckedPipeline::new(opts.pipeline());
     let mut failed = false;
-    let mut json_rows: Vec<Json> = Vec::new();
+    let mut reports: Vec<(String, impact::analyze::Report)> = Vec::new();
     for (name, program) in &targets {
         let report = match checked.try_run(program) {
             Ok((_, report)) => report,
@@ -266,17 +281,17 @@ fn lint(opts: &Options) -> ExitCode {
         };
         failed |= !report.is_clean();
         if opts.json {
-            json_rows.push(Json::Obj(vec![
-                ("target".to_string(), name.to_json()),
-                ("report".to_string(), report.to_json()),
-            ]));
+            reports.push((name.clone(), report));
         } else {
             println!("== {name} ==");
             print!("{}", report.render());
         }
     }
     if opts.json {
-        println!("{}", Json::Arr(json_rows).to_string_pretty());
+        let rows = impact::analyze::reports_to_json(
+            reports.iter().map(|(name, report)| (name.as_str(), report)),
+        );
+        println!("{}", rows.to_string_pretty());
     }
     if failed {
         ExitCode::FAILURE
@@ -525,5 +540,85 @@ fn sim(program: &Program, opts: &Options) -> ExitCode {
         stats.avg_fetch(),
         stats.avg_exec()
     );
+    ExitCode::SUCCESS
+}
+
+/// `impact serve` — start the placement-and-simulation HTTP service.
+///
+/// Prints the bound address (`serving on http://ADDR`) to stdout, then
+/// serves until SIGTERM/SIGINT arrives or stdin reaches EOF.
+fn serve(rest: Vec<String>) -> ExitCode {
+    use impact::serve::{signal, ServeConfig, Server};
+
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut args = rest.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().ok_or_else(|| {
+                eprintln!("impact serve: {flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => match value("--addr") {
+                Ok(v) => config.addr = v,
+                Err(code) => return code,
+            },
+            "--workers" => match value("--workers").map(|v| v.parse()) {
+                Ok(Ok(n)) if n >= 1 => config.workers = n,
+                _ => {
+                    eprintln!("impact serve: --workers must be a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--queue" => match value("--queue").map(|v| v.parse()) {
+                Ok(Ok(n)) => config.queue_cap = n,
+                _ => {
+                    eprintln!("impact serve: --queue must be a non-negative integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--timeout-ms" => match value("--timeout-ms").map(|v| v.parse::<u64>()) {
+                Ok(Ok(ms)) if ms >= 1 => {
+                    config.read_timeout = std::time::Duration::from_millis(ms);
+                    config.write_timeout = std::time::Duration::from_millis(ms);
+                }
+                _ => {
+                    eprintln!("impact serve: --timeout-ms must be a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--sim-jobs" => match value("--sim-jobs").map(|v| v.parse()) {
+                Ok(Ok(n)) if n >= 1 => config.sim_jobs = n,
+                _ => {
+                    eprintln!("impact serve: --sim-jobs must be a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            flag => {
+                eprintln!("impact serve: unknown option {flag}");
+                return usage();
+            }
+        }
+    }
+
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("impact serve: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("serving on http://{}", server.addr());
+    // Make the address visible immediately even under a pipe.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    signal::watch_shutdown(server.shutdown_flag());
+    server.wait();
+    println!("impact serve: shut down cleanly");
     ExitCode::SUCCESS
 }

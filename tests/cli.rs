@@ -176,3 +176,66 @@ fn unknown_subcommand_prints_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+#[test]
+fn serve_binds_answers_and_shuts_down_on_stdin_eof() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::process::Stdio;
+
+    let mut child = impact_bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+
+    // First stdout line announces the bound address.
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout
+        .read_line(&mut line)
+        .expect("serve prints its address");
+    let addr = line
+        .trim()
+        .strip_prefix("serving on http://")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+
+    // One round trip over plain TCP.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect to serve");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read response");
+    assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    assert!(reply.contains("\"ok\""), "{reply}");
+
+    // Closing stdin must shut the server down cleanly.
+    drop(child.stdin.take());
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("shut down cleanly"), "{rest}");
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let out = impact_bin()
+        .args(["serve", "--workers", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workers must be"));
+}
