@@ -20,6 +20,9 @@ pub struct ConflictConfig {
     /// At most this many sets are reported (heaviest first); the rest are
     /// summarized in one trailing diagnostic.
     pub max_reports: usize,
+    /// `IPA303` warns when the estimated miss-ratio bound of a placement
+    /// (see [`crate::conflict::estimate_miss_bound`]) exceeds this.
+    pub miss_bound_warn: f64,
 }
 
 impl Default for ConflictConfig {
@@ -29,6 +32,7 @@ impl Default for ConflictConfig {
             line_bytes: 64,
             hot_fraction: 0.05,
             max_reports: 8,
+            miss_bound_warn: 0.10,
         }
     }
 }

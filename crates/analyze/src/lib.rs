@@ -23,10 +23,24 @@
 //! | IPA104 | error | 4-byte instruction alignment |
 //! | IPA105 | warning | selected traces broken across the layout |
 //! | IPA201 | warning | hot lines contesting one direct-mapped cache set |
+//! | IPA301 | warning | loop body footprint exceeds the cache capacity |
+//! | IPA302 | warning | concurrently-hot loop bodies on overlapping cache sets |
+//! | IPA303 | warning | estimated miss-ratio bound exceeds the threshold |
 //!
 //! The contract: a full pipeline run over any of the bundled workloads
 //! lints **error-free** (`impact lint` relies on this; warnings are
 //! informational).
+//!
+//! # Static estimation
+//!
+//! Beyond linting measured artifacts, this crate can run the whole
+//! placement pipeline *without a profile*: [`freq::StaticProfiler`]
+//! predicts the weighted call/control graphs from program structure
+//! (loop nesting from [`flow`], Ball/Larus-style branch heuristics from
+//! [`freq`]), and [`analyze_static`] feeds that prediction through the
+//! five-step pipeline, verifies the resulting placement, and bounds its
+//! miss ratio with [`conflict::estimate_miss_bound`]. `impact analyze`
+//! is a thin wrapper over it.
 //!
 //! # Example
 //!
@@ -40,18 +54,23 @@
 //! ```
 
 pub mod cache;
+pub mod conflict;
 pub mod diag;
+pub mod flow;
+pub mod freq;
 pub mod pass;
 pub mod placement;
 pub mod program;
 
 pub use cache::ConflictConfig;
+pub use conflict::{estimate_miss_bound, MissBound};
 pub use diag::{reports_to_json, Diagnostic, Location, Report, Severity};
+pub use freq::StaticProfiler;
 pub use pass::{Context, Pass, Registry};
 
 use impact_ir::Program;
 use impact_layout::pipeline::{
-    Checkpoint, Pipeline, PipelineError, PipelineObserver, PipelineResult,
+    Checkpoint, Pipeline, PipelineConfig, PipelineError, PipelineObserver, PipelineResult,
 };
 use impact_layout::placement::Placement;
 use impact_profile::Profile;
@@ -86,6 +105,111 @@ pub fn verify_placement(program: &Program, placement: &Placement) -> Report {
     r.register(Box::new(placement::PlacementOverlap));
     r.register(Box::new(placement::Alignment));
     r.run(&ctx)
+}
+
+/// The result of a profile-free, end-to-end static analysis.
+#[derive(Debug)]
+pub struct StaticAnalysis {
+    /// The pipeline output driven by the [`StaticProfiler`]'s predicted
+    /// profile (`result.profile` *is* the static profile of the placed
+    /// program).
+    pub result: PipelineResult,
+    /// Placement verification (`IPA101`–`IPA104`) plus the static
+    /// cache-conflict analyses (`IPA301`–`IPA303`).
+    pub report: Report,
+    /// Analytic miss-ratio bound of the placement under the static
+    /// profile at the configured geometry.
+    pub miss_bound: MissBound,
+}
+
+impl StaticAnalysis {
+    /// The JSON document both `impact analyze --json` (one array entry
+    /// per target) and `POST /v1/analyze` (a single object) emit —
+    /// shared so the two surfaces cannot drift apart.
+    #[must_use]
+    pub fn to_json_for_target(&self, target: &str) -> impact_support::json::Json {
+        use impact_support::json::Json;
+        use impact_support::ToJson;
+
+        let mut hot: Vec<(u64, String)> = self
+            .result
+            .program
+            .functions()
+            .map(|(fid, f)| (self.result.profile.func_weight(fid), f.name().to_owned()))
+            .collect();
+        hot.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let bound = self.miss_bound;
+        Json::Obj(vec![
+            ("target".to_string(), target.to_json()),
+            (
+                "total_bytes".to_string(),
+                self.result.placement.total_bytes().to_json(),
+            ),
+            (
+                "miss_bound".to_string(),
+                Json::Obj(vec![
+                    ("ratio".to_string(), bound.ratio().to_json()),
+                    ("cold_lines".to_string(), bound.cold_lines.to_json()),
+                    (
+                        "conflict_weight".to_string(),
+                        bound.conflict_weight.to_json(),
+                    ),
+                    ("accesses".to_string(), bound.accesses.to_json()),
+                ]),
+            ),
+            (
+                "hot_functions".to_string(),
+                Json::Arr(
+                    hot.iter()
+                        .take(8)
+                        .map(|(w, n)| {
+                            Json::Obj(vec![
+                                ("name".to_string(), n.as_str().to_json()),
+                                ("estimated_weight".to_string(), w.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("report".to_string(), self.report.to_json()),
+        ])
+    }
+}
+
+/// Runs the five-step placement pipeline **without executing the
+/// program**: the profile is predicted by [`StaticProfiler`], the
+/// resulting placement is verified, and its miss ratio is bounded
+/// analytically.
+///
+/// This is the engine behind `impact analyze` and `POST /v1/analyze`.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] for invalid configs or malformed
+/// programs, exactly like [`Pipeline::try_run`].
+pub fn analyze_static(
+    program: &Program,
+    config: &PipelineConfig,
+    conflict: ConflictConfig,
+) -> Result<StaticAnalysis, PipelineError> {
+    let source = StaticProfiler::new();
+    let result = Pipeline::new(config.clone()).try_run_with_source(program, &source)?;
+    let mut report = verify_placement(&result.program, &result.placement);
+    let ctx = Context::of_result(&result).with_conflict(conflict);
+    report
+        .diagnostics
+        .extend(Registry::static_analyses().run(&ctx).diagnostics);
+    let miss_bound = estimate_miss_bound(
+        &result.program,
+        &result.profile,
+        &result.placement,
+        &conflict,
+    );
+    Ok(StaticAnalysis {
+        result,
+        report,
+        miss_bound,
+    })
 }
 
 /// A [`Pipeline`] that lints its own intermediate artifacts as it runs
@@ -188,6 +312,38 @@ mod tests {
         let w = impact_workloads::by_name("cmp").expect("cmp exists");
         let report = lint_program(&w.program, None);
         assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn static_analysis_places_every_workload_error_free() {
+        for w in impact_workloads::all() {
+            let analysis = analyze_static(
+                &w.program,
+                &PipelineConfig::default(),
+                ConflictConfig::default(),
+            )
+            .expect("well-formed workload");
+            assert_eq!(
+                analysis.report.error_count(),
+                0,
+                "{}: {}",
+                w.name,
+                analysis.report.render()
+            );
+            let b = analysis.miss_bound;
+            assert!(b.accesses > 0, "{}: static profile is non-trivial", w.name);
+            assert!(b.ratio() >= 0.0 && b.ratio() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn static_analysis_rejects_bad_config() {
+        let w = impact_workloads::by_name("wc").expect("wc exists");
+        let bad = PipelineConfig {
+            min_prob: 0.0,
+            ..PipelineConfig::default()
+        };
+        assert!(analyze_static(&w.program, &bad, ConflictConfig::default()).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use impact_layout::trace_select::TraceAssignment;
 use impact_profile::Profile;
 
 use crate::cache::{ConflictConfig, ConflictPressure};
+use crate::conflict::{LoopFootprint, LoopInterference, StaticMissBound};
 use crate::diag::{Diagnostic, Report};
 use crate::placement::{
     Alignment, BrokenTraces, EffectiveSplit, PlacementCoverage, PlacementOverlap,
@@ -145,6 +146,9 @@ impl Registry {
         r.register(Box::new(Alignment));
         r.register(Box::new(BrokenTraces));
         r.register(Box::new(ConflictPressure));
+        r.register(Box::new(LoopFootprint));
+        r.register(Box::new(LoopInterference));
+        r.register(Box::new(StaticMissBound));
         r
     }
 
@@ -169,6 +173,19 @@ impl Registry {
         r.register(Box::new(EffectiveSplit));
         r.register(Box::new(Alignment));
         r.register(Box::new(BrokenTraces));
+        r
+    }
+
+    /// The static cache-conflict analyses (`IPA301`–`IPA303`): loop
+    /// footprints vs. geometry, interference between concurrently-hot
+    /// loop bodies, and the estimated miss-ratio bound. This is what
+    /// `impact analyze` runs on top of placement verification.
+    #[must_use]
+    pub fn static_analyses() -> Self {
+        let mut r = Self::empty();
+        r.register(Box::new(LoopFootprint));
+        r.register(Box::new(LoopInterference));
+        r.register(Box::new(StaticMissBound));
         r
     }
 
@@ -219,7 +236,7 @@ mod tests {
             codes,
             vec![
                 "IPA004", "IPA001", "IPA002", "IPA003", "IPA005", "IPA101", "IPA102", "IPA103",
-                "IPA104", "IPA105", "IPA201"
+                "IPA104", "IPA105", "IPA201", "IPA301", "IPA302", "IPA303"
             ]
         );
         let mut dedup = codes.clone();

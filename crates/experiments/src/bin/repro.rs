@@ -1,7 +1,7 @@
 //! `repro` — regenerate any table of the ISCA 1989 IMPACT-I paper.
 //!
 //! ```text
-//! repro [table1 .. table9 | ablation | paging | estimate | variability | assoc | minprob | all]
+//! repro [table1 .. table9 | ablation | paging | estimate | variability | assoc | minprob | static | all]
 //!       [--fast] [--extended] [--json DIR] [--jobs N] [--metrics FILE]
 //! ```
 //!
@@ -29,7 +29,7 @@ use impact_support::ToJson;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [table1..table9 | ablation | paging | estimate | variability | assoc | minprob | all] [--fast] [--extended] [--json DIR] [--jobs N] [--metrics FILE]"
+        "usage: repro [table1..table9 | ablation | paging | estimate | variability | assoc | minprob | static | all] [--fast] [--extended] [--json DIR] [--jobs N] [--metrics FILE]"
     );
     ExitCode::FAILURE
 }
@@ -73,6 +73,7 @@ fn main() -> ExitCode {
             "variability" => selected.push(13),
             "assoc" => selected.push(14),
             "minprob" => selected.push(15),
+            "static" => selected.push(16),
             t if t.starts_with("table") => match t["table".len()..].parse::<u8>() {
                 Ok(n @ 1..=9) => selected.push(n),
                 _ => return usage(),

@@ -16,8 +16,8 @@ use crate::session::SimSession;
 use crate::tables;
 
 /// Table selector used by the `repro` CLI: `1..=9` are the paper's
-/// tables, `10..=15` the reproduction's extra experiments.
-pub const TABLE_IDS: std::ops::RangeInclusive<u8> = 1..=15;
+/// tables, `10..=16` the reproduction's extra experiments.
+pub const TABLE_IDS: std::ops::RangeInclusive<u8> = 1..=16;
 
 /// The stable label of table `n` (file names, metrics, CLI).
 ///
@@ -42,6 +42,7 @@ pub fn label(n: u8) -> &'static str {
         13 => "variability",
         14 => "assoc",
         15 => "minprob",
+        16 => "static",
         _ => panic!("unknown table id {n}"),
     }
 }
@@ -74,6 +75,7 @@ enum TablePlan {
     Variability(tables::variability::Plan),
     Assoc(tables::assoc::Plan),
     MinProb(tables::min_prob::Plan),
+    Static(tables::static_validation::Plan),
 }
 
 fn plan_one(n: u8, session: &mut SimSession, prepared: &[Prepared]) -> TablePlan {
@@ -93,6 +95,7 @@ fn plan_one(n: u8, session: &mut SimSession, prepared: &[Prepared]) -> TablePlan
         13 => TablePlan::Variability(tables::variability::plan(session, prepared)),
         14 => TablePlan::Assoc(tables::assoc::plan(session, prepared)),
         15 => TablePlan::MinProb(tables::min_prob::plan(session, prepared)),
+        16 => TablePlan::Static(tables::static_validation::plan(session, prepared)),
         _ => panic!("unknown table id {n}"),
     }
 }
@@ -166,6 +169,10 @@ fn finish_one(
             let rows = tables::min_prob::finish(session, &p);
             pack(tables::min_prob::render(&rows), &rows)
         }
+        TablePlan::Static(p) => {
+            let rows = tables::static_validation::finish(session, &p, prepared);
+            pack(tables::static_validation::render(&rows), &rows)
+        }
     }
 }
 
@@ -222,7 +229,7 @@ mod tests {
         let mut session = SimSession::new();
         let selected: Vec<u8> = TABLE_IDS.collect();
         let outputs = run_tables(&mut session, &prepared, &selected);
-        assert_eq!(outputs.len(), 15);
+        assert_eq!(outputs.len(), 16);
 
         let m = session.metrics();
         assert_eq!(
@@ -235,7 +242,7 @@ mod tests {
             "tables overlap heavily; keys must be shared"
         );
         assert!(m.memo_served > 0, "identical configs must be memo-served");
-        assert_eq!(m.tables.len(), 15);
+        assert_eq!(m.tables.len(), 16);
     }
 
     #[test]

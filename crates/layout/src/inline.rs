@@ -15,7 +15,7 @@
 //! original program size (the paper reports 0–34 % static growth).
 
 use impact_ir::{BlockId, FuncId, Function, Program, Terminator};
-use impact_profile::{Profile, Profiler};
+use impact_profile::{Profile, ProfileSource};
 
 /// Tuning knobs for the inliner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,18 +77,27 @@ impl Inliner {
     }
 
     /// Runs profile–inline passes to a fixpoint (or `max_passes`),
-    /// re-profiling with `profiler` before each pass.
+    /// re-profiling with `source` before each pass.
+    ///
+    /// The source may be a measured [`Profiler`](impact_profile::Profiler)
+    /// or any other [`ProfileSource`] (e.g. a static estimator) — each
+    /// pass needs fresh weights for the call sites exposed by earlier
+    /// inlining, so the source is re-queried on the transformed program.
     ///
     /// Returns the transformed program and the total number of sites
     /// inlined. The growth bound is measured against the size of the
     /// program passed in.
     #[must_use]
-    pub fn run_to_fixpoint(&self, program: &Program, profiler: &Profiler) -> (Program, usize) {
+    pub fn run_to_fixpoint(
+        &self,
+        program: &Program,
+        source: &dyn ProfileSource,
+    ) -> (Program, usize) {
         let original_bytes = program.total_bytes();
         let mut current = program.clone();
         let mut total_sites = 0;
         for _ in 0..self.config.max_passes {
-            let profile = profiler.profile(&current);
+            let profile = source.profile(&current);
             let pass = self.expand(&current, &profile, original_bytes);
             total_sites += pass.sites_inlined;
             current = pass.program;

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use impact_ir::{Program, ValidateError};
-use impact_profile::{ExecLimits, Profile, Profiler};
+use impact_profile::{ExecLimits, Profile, ProfileSource, Profiler};
 
 use crate::function_layout::FunctionLayout;
 use crate::global_layout::GlobalOrder;
@@ -235,6 +235,32 @@ impl Pipeline {
         Ok(())
     }
 
+    /// Runs the full pipeline on `program` with profiles drawn from an
+    /// arbitrary [`ProfileSource`] instead of the configured measured
+    /// profiler.
+    ///
+    /// This is what makes *profile-free* layout possible: pass a static
+    /// frequency estimator (see `impact-analyze`) and the five steps run
+    /// end to end without ever executing the program. The config's
+    /// `profile_runs` / `profile_base_seed` / `limits` are ignored — they
+    /// parameterize the measured profiler only.
+    #[must_use]
+    pub fn run_with_source(&self, program: &Program, source: &dyn ProfileSource) -> PipelineResult {
+        self.run_observed_with_source(program, source, &mut NoopObserver)
+    }
+
+    /// [`Pipeline::run_with_source`] with input program and configuration
+    /// validation up front.
+    pub fn try_run_with_source(
+        &self,
+        program: &Program,
+        source: &dyn ProfileSource,
+    ) -> Result<PipelineResult, PipelineError> {
+        self.check_config()?;
+        program.validate()?;
+        Ok(self.run_observed_with_source(program, source, &mut NoopObserver))
+    }
+
     /// Runs the full pipeline on `program`, reporting each
     /// [`Checkpoint`] to `observer` as it is reached.
     #[must_use]
@@ -247,9 +273,19 @@ impl Pipeline {
             .runs(self.config.profile_runs)
             .base_seed(self.config.profile_base_seed)
             .limits(self.config.limits);
+        self.run_observed_with_source(program, &profiler, observer)
+    }
 
-        // Step 1: execution profiling.
-        let pre_inline_profile = profiler.profile(program);
+    /// [`Pipeline::run_observed`] generalized over the profile producer.
+    #[must_use]
+    pub fn run_observed_with_source(
+        &self,
+        program: &Program,
+        source: &dyn ProfileSource,
+        observer: &mut dyn PipelineObserver,
+    ) -> PipelineResult {
+        // Step 1: execution profiling (or static estimation).
+        let pre_inline_profile = source.profile(program);
         observer.checkpoint(&Checkpoint::Profiled {
             program,
             profile: &pre_inline_profile,
@@ -257,13 +293,13 @@ impl Pipeline {
 
         // Step 2: function inline expansion (re-profiling between passes).
         let inlined = match &self.config.inline {
-            Some(cfg) => Inliner::new(*cfg).run_to_fixpoint(program, &profiler).0,
+            Some(cfg) => Inliner::new(*cfg).run_to_fixpoint(program, source).0,
             None => program.clone(),
         };
 
         // Re-profile the transformed program: layout decisions must see
         // weights for the cloned blocks.
-        let profile = profiler.profile(&inlined);
+        let profile = source.profile(&inlined);
         observer.checkpoint(&Checkpoint::Inlined {
             program: &inlined,
             profile: &profile,

@@ -40,5 +40,5 @@
 mod profiler;
 pub mod walk;
 
-pub use profiler::{FunctionProfile, Profile, Profiler};
+pub use profiler::{FunctionProfile, Profile, ProfileSource, Profiler};
 pub use walk::{ExecLimits, ExecSummary, ExecVisitor, Transfer, TransferKind, Walker};

@@ -230,6 +230,29 @@ impl ExecVisitor for ProfileVisitor<'_> {
     }
 }
 
+/// A strategy for producing a [`Profile`] of a program.
+///
+/// The placement pipeline only consumes weighted call/control graphs; it
+/// does not care whether the weights were *measured* (the [`Profiler`]
+/// interprets the program over input seeds) or *estimated* (a static
+/// analyzer predicts frequencies without executing anything, as in
+/// `impact-analyze`). Abstracting the producer lets the same five-step
+/// pipeline run profile-free — the question the paper's profile-driven
+/// approach cannot answer.
+///
+/// Implementations must be deterministic: the same program must always
+/// yield the same profile, or pipeline reproducibility breaks.
+pub trait ProfileSource {
+    /// Produces a profile of `program`.
+    fn profile(&self, program: &Program) -> Profile;
+}
+
+impl ProfileSource for Profiler {
+    fn profile(&self, program: &Program) -> Profile {
+        Profiler::profile(self, program)
+    }
+}
+
 /// Runs a program over several input seeds and accumulates a [`Profile`].
 ///
 /// Mirrors the paper's profiling methodology: "It is critical that the

@@ -7,12 +7,13 @@
 //!
 //! | Route | Body | Result |
 //! |---|---|---|
-//! | `POST /v1/lint` | `{"program", "name"?, "runs"?, "max_instrs"?}` | the `impact lint --json` document |
+//! | `POST /v1/lint` | `{"program", "name"?, "runs"?, "max_instrs"?, "deny_warnings"?}` | the `impact lint --json` document |
 //! | `POST /v1/layout` | `{"program", "name"?, "runs"?, "max_instrs"?, "min_prob"?}` | placement + quality metrics |
 //! | `POST /v1/simulate` | `{"program", "configs", "seed"?, "max_instrs"?, "layout"?, "runs"?}` | per-config cache statistics |
+//! | `POST /v1/analyze` | `{"program", "name"?, "cache"?, "block"?}` | profile-free static analysis (the `impact analyze --json` document) |
 //! | `GET /metrics` | — | counters, latency histogram, memo hit rate |
 
-use impact_analyze::{reports_to_json, CheckedPipeline};
+use impact_analyze::{analyze_static, reports_to_json, CheckedPipeline, ConflictConfig};
 use impact_asm::parse_program;
 use impact_cache::{Associativity, CacheConfig, CacheStats, FillPolicy, Replacement};
 use impact_experiments::session::SharedSimSession;
@@ -58,10 +59,11 @@ impl AppState {
 /// (for metrics) alongside the response.
 #[must_use]
 pub fn route(state: &AppState, req: &Request) -> (Endpoint, Response) {
-    const ROUTES: [(&str, &str); 5] = [
+    const ROUTES: [(&str, &str); 6] = [
         ("POST", "/v1/lint"),
         ("POST", "/v1/layout"),
         ("POST", "/v1/simulate"),
+        ("POST", "/v1/analyze"),
         ("GET", "/metrics"),
         ("GET", "/healthz"),
     ];
@@ -69,6 +71,7 @@ pub fn route(state: &AppState, req: &Request) -> (Endpoint, Response) {
         ("POST", "/v1/lint") => (Endpoint::Lint, lint(req)),
         ("POST", "/v1/layout") => (Endpoint::Layout, layout(req)),
         ("POST", "/v1/simulate") => (Endpoint::Simulate, simulate(state, req)),
+        ("POST", "/v1/analyze") => (Endpoint::Analyze, analyze(req)),
         ("GET", "/metrics") => (
             Endpoint::Metrics,
             Response::json(200, &state.metrics.to_json(&state.session.metrics())),
@@ -98,7 +101,9 @@ pub fn route(state: &AppState, req: &Request) -> (Endpoint, Response) {
 /// `POST /v1/lint` — run the full `impact-analyze` registry over the
 /// submitted program's pipeline run. The body is byte-for-byte the
 /// document `impact lint --json` prints for one target: both surfaces
-/// call [`impact_analyze::reports_to_json`].
+/// call [`impact_analyze::reports_to_json`]. With `"deny_warnings":
+/// true` (the CLI's `--deny-warnings`) a warning-bearing report comes
+/// back as 422 — the body bytes are unchanged, only the status flips.
 fn lint(req: &Request) -> Response {
     let doc = match decode_body(req) {
         Ok(d) => d,
@@ -108,9 +113,52 @@ fn lint(req: &Request) -> Response {
         Ok(p) => p,
         Err(resp) => return *resp,
     };
+    let deny_warnings = match field_bool(&doc, "deny_warnings") {
+        Ok(v) => v.unwrap_or(false),
+        Err(resp) => return *resp,
+    };
     let checked = CheckedPipeline::new(Pipeline::new(common.pipeline_config()));
     match checked.try_run(&program) {
-        Ok((_, report)) => Response::json(200, &reports_to_json([(name.as_str(), &report)])),
+        Ok((_, report)) => {
+            let status = if deny_warnings && report.warning_count() > 0 {
+                422
+            } else {
+                200
+            };
+            Response::json(status, &reports_to_json([(name.as_str(), &report)]))
+        }
+        Err(e) => Response::error(400, e.to_string()),
+    }
+}
+
+/// `POST /v1/analyze` — profile-free static analysis: Ball/Larus-style
+/// branch heuristics drive the placement pipeline, then the static
+/// cache-conflict passes (`IPA301`–`IPA303`) and the miss-ratio bound
+/// run over the result. The body is the per-target document `impact
+/// analyze --json` emits: both surfaces call
+/// [`StaticAnalysis::to_json_for_target`](impact_analyze::StaticAnalysis::to_json_for_target).
+fn analyze(req: &Request) -> Response {
+    let doc = match decode_body(req) {
+        Ok(d) => d,
+        Err(resp) => return *resp,
+    };
+    let (name, program, _) = match decode_program(&doc) {
+        Ok(p) => p,
+        Err(resp) => return *resp,
+    };
+    let mut conflict = ConflictConfig::default();
+    match field_u64(&doc, "cache") {
+        Ok(Some(v)) => conflict.cache_bytes = v,
+        Ok(None) => {}
+        Err(resp) => return *resp,
+    }
+    match field_u64(&doc, "block") {
+        Ok(Some(v)) => conflict.line_bytes = v,
+        Ok(None) => {}
+        Err(resp) => return *resp,
+    }
+    match analyze_static(&program, &PipelineConfig::default(), conflict) {
+        Ok(analysis) => Response::json(200, &analysis.to_json_for_target(&name)),
         Err(e) => Response::error(400, e.to_string()),
     }
 }
@@ -415,6 +463,14 @@ fn field_u64(doc: &Json, key: &str) -> Result<Option<u64>, Reject> {
     }
 }
 
+fn field_bool(doc: &Json, key: &str) -> Result<Option<bool>, Reject> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(Json::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(reject(400, format!("field {key:?} must be a boolean"))),
+    }
+}
+
 fn field_f64(doc: &Json, key: &str) -> Result<Option<f64>, Reject> {
     match doc.get(key) {
         None => Ok(None),
@@ -670,6 +726,74 @@ mod tests {
             .unwrap();
         let expected = Response::json(200, &reports_to_json([("cmp", &report)]));
         assert_eq!(resp.body, expected.body);
+    }
+
+    #[test]
+    fn lint_deny_warnings_flips_status_not_body() {
+        let state = AppState::new(1);
+        // wc carries known IPA005 warnings, so deny_warnings must bite.
+        let text = impact_asm::print_program(&impact_workloads::by_name("wc").unwrap().program);
+        let plain = format!(
+            r#"{{"program": {}, "name": "wc", "runs": 2, "max_instrs": 60000}}"#,
+            Json::Str(text.clone()),
+        );
+        let deny = format!(
+            r#"{{"program": {}, "name": "wc", "runs": 2, "max_instrs": 60000,
+                "deny_warnings": true}}"#,
+            Json::Str(text),
+        );
+        let (_, ok) = route(&state, &post("/v1/lint", &plain));
+        assert_eq!(ok.status, 200);
+        let (_, denied) = route(&state, &post("/v1/lint", &deny));
+        assert_eq!(denied.status, 422);
+        assert_eq!(denied.body, ok.body, "only the status may change");
+
+        let (_, resp) = route(
+            &state,
+            &post("/v1/lint", r#"{"program": "", "deny_warnings": 1}"#),
+        );
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn analyze_matches_the_cli_document() {
+        let state = AppState::new(1);
+        let text = program_text();
+        let body = format!(
+            r#"{{"program": {}, "name": "cmp", "cache": 1024, "block": 32}}"#,
+            Json::Str(text.clone()),
+        );
+        let (ep, resp) = route(&state, &post("/v1/analyze", &body));
+        assert_eq!(ep, Endpoint::Analyze);
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+
+        // Same implementation as one `impact analyze --json` array entry.
+        let program = parse_program(&text).unwrap();
+        let conflict = ConflictConfig {
+            cache_bytes: 1024,
+            line_bytes: 32,
+            ..ConflictConfig::default()
+        };
+        let analysis = analyze_static(&program, &PipelineConfig::default(), conflict).unwrap();
+        let expected = Response::json(200, &analysis.to_json_for_target("cmp"));
+        assert_eq!(resp.body, expected.body, "service must be bit-identical");
+
+        let doc = body_json(&resp);
+        assert_eq!(doc.get("target").and_then(Json::as_str), Some("cmp"));
+        assert!(doc.get("miss_bound").unwrap().get("ratio").is_some());
+        assert!(!doc
+            .get("hot_functions")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .is_empty());
+
+        // Wrong method gets a 405 with the Allow header.
+        let (_, resp) = route(&state, &get("/v1/analyze"));
+        assert_eq!(resp.status, 405);
+        assert!(resp
+            .headers
+            .iter()
+            .any(|(n, v)| n == "Allow" && v == "POST"));
     }
 
     #[test]

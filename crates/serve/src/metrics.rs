@@ -25,6 +25,8 @@ pub enum Endpoint {
     Layout,
     /// `POST /v1/simulate`
     Simulate,
+    /// `POST /v1/analyze`
+    Analyze,
     /// `GET /metrics`
     Metrics,
     /// Anything else (404/405/400 paths).
@@ -32,10 +34,11 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 5] = [
+    const ALL: [Endpoint; 6] = [
         Endpoint::Lint,
         Endpoint::Layout,
         Endpoint::Simulate,
+        Endpoint::Analyze,
         Endpoint::Metrics,
         Endpoint::Other,
     ];
@@ -45,8 +48,9 @@ impl Endpoint {
             Endpoint::Lint => 0,
             Endpoint::Layout => 1,
             Endpoint::Simulate => 2,
-            Endpoint::Metrics => 3,
-            Endpoint::Other => 4,
+            Endpoint::Analyze => 3,
+            Endpoint::Metrics => 4,
+            Endpoint::Other => 5,
         }
     }
 
@@ -57,6 +61,7 @@ impl Endpoint {
             Endpoint::Lint => "lint",
             Endpoint::Layout => "layout",
             Endpoint::Simulate => "simulate",
+            Endpoint::Analyze => "analyze",
             Endpoint::Metrics => "metrics",
             Endpoint::Other => "other",
         }
@@ -66,7 +71,7 @@ impl Endpoint {
 /// Atomic counter block for the whole service.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    requests: [AtomicU64; 5],
+    requests: [AtomicU64; 6],
     status_2xx: AtomicU64,
     status_4xx: AtomicU64,
     status_5xx: AtomicU64,

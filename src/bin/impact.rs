@@ -10,6 +10,9 @@
 //! impact simtrace <trace.din> [options]           simulate an external din trace
 //! impact lint     <file | workload | all>         run the static-analysis passes
 //!                                                 over the full pipeline
+//! impact analyze  <file | workload | all>         profile-free pipeline: estimate
+//!                                                 frequencies statically, place,
+//!                                                 and bound the miss ratio
 //! impact serve    [serve options]                 placement-and-simulation HTTP
 //!                                                 service (see crates/serve)
 //!
@@ -26,7 +29,14 @@
 //!   --no-optimize   simulate the program's natural layout
 //!
 //! lint options:
-//!   --json          emit diagnostics as JSON instead of text
+//!   --json            emit diagnostics as JSON instead of text
+//!   --deny-warnings   exit nonzero on warnings, not just errors
+//!
+//! analyze options:
+//!   --json            emit the analysis as JSON instead of text
+//!   --cache BYTES     conflict-analysis cache size        (default 2048)
+//!   --block BYTES     conflict-analysis line size         (default 64)
+//!   --deny-warnings   exit nonzero on warnings, not just errors
 //!
 //! serve options:
 //!   --addr A        bind address                        (default 127.0.0.1:0)
@@ -41,7 +51,13 @@
 //! `impact lint` accepts a `.impact` file, the name of a bundled workload
 //! (`wc`, `grep`, ...), or `all`. It runs the checked pipeline and prints
 //! every diagnostic; the exit code is nonzero iff any *error*-severity
-//! diagnostic fired. See `impact_analyze` for the code table.
+//! diagnostic fired (or any warning under `--deny-warnings`). See
+//! `impact_analyze` for the code table.
+//!
+//! `impact analyze` accepts the same targets but never executes the
+//! program: branch probabilities come from static heuristics, the
+//! pipeline is driven by the estimated profile, and the placement is
+//! verified and checked for predicted cache conflicts (IPA301-IPA303).
 //! ```
 //!
 //! Example session:
@@ -77,6 +93,7 @@ struct Options {
     fill: FillPolicy,
     optimize: bool,
     json: bool,
+    deny_warnings: bool,
 }
 
 impl Options {
@@ -98,7 +115,7 @@ impl Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: impact <report|optimize|sim|viz|trace|simtrace|lint> <file.impact> [options]\n\
+        "usage: impact <report|optimize|sim|viz|trace|simtrace|lint|analyze> <file.impact> [options]\n\
          \u{20}      impact serve [--addr A] [--workers N] [--queue N] [--timeout-ms N] [--sim-jobs N]\n\
          see `src/bin/impact.rs` header for the option list"
     );
@@ -127,6 +144,7 @@ fn main() -> ExitCode {
         fill: FillPolicy::FullBlock,
         optimize: true,
         json: false,
+        deny_warnings: false,
     };
 
     let mut rest: Vec<String> = args.collect();
@@ -189,6 +207,7 @@ fn main() -> ExitCode {
             },
             "--no-optimize" => opts.optimize = false,
             "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
             flag if flag.starts_with('-') => {
                 eprintln!("unknown option {flag}");
                 return usage();
@@ -211,6 +230,9 @@ fn main() -> ExitCode {
     }
     if command == "lint" {
         return lint(&opts);
+    }
+    if command == "analyze" {
+        return analyze(&opts);
     }
 
     let source = match std::fs::read_to_string(&opts.file) {
@@ -280,6 +302,7 @@ fn lint(opts: &Options) -> ExitCode {
             }
         };
         failed |= !report.is_clean();
+        failed |= opts.deny_warnings && report.warning_count() > 0;
         if opts.json {
             reports.push((name.clone(), report));
         } else {
@@ -292,6 +315,84 @@ fn lint(opts: &Options) -> ExitCode {
             reports.iter().map(|(name, report)| (name.as_str(), report)),
         );
         println!("{}", rows.to_string_pretty());
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `impact analyze` — the profile-free pipeline over one or more targets.
+///
+/// For each target: estimate a static profile, drive the placement
+/// pipeline with it, verify the placement, run the IPA3xx conflict
+/// predictions at the `--cache/--block` geometry, and report the
+/// estimated miss-ratio bound plus the hottest estimated functions.
+fn analyze(opts: &Options) -> ExitCode {
+    use impact::analyze::{analyze_static, ConflictConfig};
+    use impact::support::json::Json;
+
+    let targets = match lint_targets(opts) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let conflict = ConflictConfig {
+        cache_bytes: opts.cache,
+        line_bytes: opts.block,
+        ..ConflictConfig::default()
+    };
+
+    let mut failed = false;
+    let mut rows: Vec<Json> = Vec::new();
+    for (name, program) in &targets {
+        let analysis = match analyze_static(program, &PipelineConfig::default(), conflict) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        failed |= !analysis.report.is_clean();
+        failed |= opts.deny_warnings && analysis.report.warning_count() > 0;
+
+        if opts.json {
+            rows.push(analysis.to_json_for_target(name));
+        } else {
+            let result = &analysis.result;
+            let mut hot: Vec<(u64, String)> = result
+                .program
+                .functions()
+                .map(|(fid, f)| (result.profile.func_weight(fid), f.name().to_owned()))
+                .collect();
+            hot.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let bound = analysis.miss_bound;
+            println!("== {name} ==");
+            println!(
+                "static placement: {} bytes; estimated miss-ratio bound {:.2}% \
+                 ({} cold lines, {} contended of {} line accesses, {}B cache / {}B lines)",
+                result.placement.total_bytes(),
+                bound.ratio() * 100.0,
+                bound.cold_lines,
+                bound.conflict_weight,
+                bound.accesses,
+                opts.cache,
+                opts.block
+            );
+            let top: Vec<String> = hot
+                .iter()
+                .take(5)
+                .map(|(w, n)| format!("{n} ({w})"))
+                .collect();
+            println!("hottest (estimated): {}", top.join(", "));
+            print!("{}", analysis.report.render());
+        }
+    }
+    if opts.json {
+        println!("{}", Json::Arr(rows).to_string_pretty());
     }
     if failed {
         ExitCode::FAILURE

@@ -245,6 +245,126 @@ fn ipa105_fires_on_a_layout_that_breaks_traces() {
     );
 }
 
+/// A caller whose loop invokes a looping leaf: the two bodies are
+/// concurrently hot, so their cache coloring matters.
+fn concurrent_loops() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let leaf = pb.reserve("leaf");
+    let mut main = pb.function("main");
+    let head = main.block(vec![Instr::IntAlu; 15]); // 64 B
+    let latch = main.block(vec![Instr::IntAlu; 15]); // 64 B
+    let exit = main.block(vec![]);
+    main.terminate(head, Terminator::call(leaf, latch));
+    main.terminate(
+        latch,
+        Terminator::branch(head, exit, BranchBias::fixed(0.9)),
+    );
+    main.terminate(exit, Terminator::Exit);
+    let mid = main.finish();
+    let mut lf = pb.function_reserved(leaf);
+    let l0 = lf.block(vec![Instr::Load; 15]); // 64 B
+    let l1 = lf.block(vec![]);
+    lf.terminate(l0, Terminator::branch(l0, l1, BranchBias::fixed(0.9)));
+    lf.terminate(l1, Terminator::Return);
+    lf.finish();
+    pb.set_entry(mid);
+    pb.finish().unwrap()
+}
+
+/// Natural addresses for `concurrent_loops`, with the leaf moved to
+/// `leaf_at` — the corruption knob for the IPA302/IPA303 mutations.
+fn concurrent_placement(p: &Program, leaf_at: u64) -> Placement {
+    let main = p.entry();
+    let leaf = p.function_by_name("leaf").unwrap();
+    let mut addrs = vec![Vec::new(), Vec::new()];
+    let mut cursor = 0;
+    for (_, block) in p.function(main).blocks() {
+        addrs[main.index()].push(cursor);
+        cursor += block.size_bytes();
+    }
+    let mut cursor = leaf_at;
+    for (_, block) in p.function(leaf).blocks() {
+        addrs[leaf.index()].push(cursor);
+        cursor += block.size_bytes();
+    }
+    let total = cursor;
+    Placement::from_raw(addrs, vec![main, leaf], total, total)
+}
+
+#[test]
+fn ipa301_fires_when_a_loop_outgrows_the_cache() {
+    let w = impact::workloads::by_name("wc").unwrap();
+    let p = prepare(&w, &budget());
+    // Shrink the cache under wc's real loops instead of growing a fake one.
+    let tiny = ConflictConfig {
+        cache_bytes: 256,
+        line_bytes: 64,
+        ..ConflictConfig::default()
+    };
+    let ctx = Context::program_only(&p.result.program).with_conflict(tiny);
+    let report = Registry::static_analyses().run(&ctx);
+    assert!(
+        report.with_code("IPA301").count() > 0,
+        "{}",
+        report.render()
+    );
+    assert_eq!(report.error_count(), 0, "footprint pressure is a warning");
+
+    // At a cache that swallows the whole program, every loop fits.
+    let huge = ConflictConfig {
+        cache_bytes: 1 << 20,
+        line_bytes: 64,
+        ..ConflictConfig::default()
+    };
+    let ctx = Context::program_only(&p.result.program).with_conflict(huge);
+    let report = Registry::static_analyses().run(&ctx);
+    assert_eq!(report.with_code("IPA301").count(), 0, "{}", report.render());
+}
+
+#[test]
+fn ipa302_fires_on_aliased_concurrent_loops() {
+    let p = concurrent_loops();
+    // Exactly one cache capacity apart: the loops contest the same sets.
+    let aliased = concurrent_placement(&p, 2048);
+    let ctx = Context::program_only(&p).with_placement(&aliased);
+    let report = Registry::static_analyses().run(&ctx);
+    assert!(
+        report.with_code("IPA302").count() > 0,
+        "{}",
+        report.render()
+    );
+
+    // Adjacent in one cache frame: disjoint sets, nothing to report.
+    let disjoint = concurrent_placement(&p, 192);
+    let ctx = Context::program_only(&p).with_placement(&disjoint);
+    let report = Registry::static_analyses().run(&ctx);
+    assert_eq!(report.with_code("IPA302").count(), 0, "{}", report.render());
+}
+
+#[test]
+fn ipa303_fires_when_the_miss_bound_blows_the_threshold() {
+    let p = concurrent_loops();
+    let prof = Profiler::new().runs(4).profile(&p);
+    let aliased = concurrent_placement(&p, 2048);
+    let ctx = Context::program_only(&p)
+        .with_profile(&prof)
+        .with_placement(&aliased);
+    let report = Registry::static_analyses().run(&ctx);
+    assert!(
+        report.with_code("IPA303").count() > 0,
+        "{}",
+        report.render()
+    );
+
+    // The same placement passes once the threshold is mutated past 100%.
+    let lax = ConflictConfig {
+        miss_bound_warn: 1.0,
+        ..ConflictConfig::default()
+    };
+    let report = Registry::static_analyses().run(&ctx.with_conflict(lax));
+    assert_eq!(report.with_code("IPA303").count(), 0, "{}", report.render());
+}
+
 #[test]
 fn ipa201_fires_when_the_cache_has_one_set() {
     let w = impact::workloads::by_name("wc").unwrap();
