@@ -1,20 +1,35 @@
-//! Scalar vs. run-batched fetch-path throughput.
+//! Scalar vs. run-batched fetch-path throughput, plus artifact-replay
+//! and cold-table delivery rates.
 //!
-//! Streams the grep benchmark's evaluation trace as sequential runs
-//! (exactly what `TraceGenerator::stream` emits), then drives each cache
-//! organization twice over the same runs — once word-by-word through
-//! `access`, once through `access_run` — and reports instructions/sec
-//! for both plus the speedup. Results are written to `BENCH_cache.json`.
+//! Three sections, all written to `BENCH_cache.json`:
+//!
+//! 1. **scalar vs batched** — streams the grep benchmark's evaluation
+//!    trace as sequential runs (exactly what `TraceGenerator::stream`
+//!    emits), then drives each cache organization twice over the same
+//!    runs — word-by-word through `access` and through `access_run`.
+//! 2. **replay** — the same trace delivered to a five-config
+//!    [`MultiLane`] sweep four ways: interpreted walk, interpreted walk
+//!    under a [`CaptureSink`] tee (capture overhead), [`RunBuffer`]
+//!    replay (the session's warm path), and replay into one cache.
+//! 3. **table6_cold** — the full Table 6 pipeline through a fresh
+//!    `SimSession`, with artifact capture on (default) and off
+//!    (`with_artifact_budget(0)`, the pre-artifact behavior).
 //!
 //! Run with `--fast` (CI smoke) for a short trace and few repetitions;
 //! the process exits non-zero if the batched path is slower than scalar
-//! on the headline direct-mapped organization.
+//! on the headline direct-mapped organization, or if artifact replay is
+//! slower than the interpreted walk on the sweep.
 
-use impact_cache::{AccessSink, Associativity, Cache, CacheConfig, FillPolicy, WORD_BYTES};
+use impact_cache::{
+    AccessSink, Associativity, Cache, CacheConfig, FillPolicy, MultiLane, WORD_BYTES,
+};
+use impact_experiments::prepare::{prepare_many_jobs, Budget};
+use impact_experiments::runner;
+use impact_experiments::session::SimSession;
 use impact_layout::baseline;
 use impact_profile::ExecLimits;
 use impact_support::json::{Json, ToJson};
-use impact_trace::TraceGenerator;
+use impact_trace::{CaptureSink, RunBuffer, TraceGenerator};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -144,12 +159,149 @@ fn main() {
         rows.push(row);
     }
 
+    // Section 2: delivery-path rates for a five-size sweep at one block
+    // geometry (the Table 6 shape) — interpreted walk vs capture tee vs
+    // artifact replay.
+    let w = impact_workloads::by_name("grep").expect("grep exists");
+    let placement = baseline::natural(&w.program);
+    let gen = TraceGenerator::new(&w.program, &placement).with_limits(ExecLimits {
+        max_instructions: instructions,
+        max_call_depth: 512,
+    });
+    let seed = w.eval_seed();
+    let sweep: Vec<CacheConfig> = [512u64, 1024, 2048, 4096, 8192]
+        .iter()
+        .map(|&s| CacheConfig::direct_mapped(s, 64))
+        .collect();
+    let (artifact, _) = RunBuffer::capture(&gen, seed);
+
+    let interp_nanos = best_nanos(reps, || {
+        let mut lanes = MultiLane::new(sweep.iter().copied());
+        gen.stream(seed, &mut lanes);
+        black_box(lanes.take_stats());
+    });
+    let capture_nanos = best_nanos(reps, || {
+        let mut lanes = MultiLane::new(sweep.iter().copied());
+        let mut buf = RunBuffer::new();
+        gen.stream(seed, &mut CaptureSink::new(&mut buf, &mut lanes));
+        black_box((lanes.take_stats(), buf.len()));
+    });
+    let replay_nanos = best_nanos(reps, || {
+        let mut lanes = MultiLane::new(sweep.iter().copied());
+        artifact.replay(&mut lanes);
+        black_box(lanes.take_stats());
+    });
+    let replay_one_nanos = best_nanos(reps, || {
+        let mut cache = Cache::new(sweep[2]);
+        artifact.replay(&mut cache);
+        black_box(cache.take_stats());
+    });
+
+    let ips = |nanos: u64| streamed as f64 * 1e9 / nanos as f64;
+    let replay_rows: Vec<(&str, f64)> = vec![
+        ("interpreted_stream_sweep5", ips(interp_nanos)),
+        ("interpreted_capture_sweep5", ips(capture_nanos)),
+        ("artifact_replay_sweep5", ips(replay_nanos)),
+        ("artifact_replay_direct_2k_64", ips(replay_one_nanos)),
+    ];
+    let replay_speedup = ips(replay_nanos) / ips(interp_nanos);
+    for (name, rate) in &replay_rows {
+        eprintln!("  {name:28} {:8.2}M instrs/s", rate / 1e6);
+    }
+    eprintln!(
+        "  replay vs interpreted on the sweep: {replay_speedup:.2}x \
+         (artifact: {} runs / {} KiB)",
+        artifact.len(),
+        artifact.bytes() / 1024,
+    );
+
+    // Section 3: the whole Table 6 pipeline, cold, through a fresh
+    // session — artifacts on (default) vs off (pre-artifact behavior).
+    // Rates come from the session's own sim-time accounting, matching
+    // `repro --metrics`.
+    let budget = if fast {
+        Budget::fast()
+    } else {
+        Budget::default()
+    };
+    let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let workloads = impact_workloads::all();
+    let prepared = prepare_many_jobs(&workloads, &budget, jobs);
+    let table6_cold = |session: &mut SimSession| {
+        black_box(runner::run_tables(session, &prepared, &[6]));
+        let m = session.metrics();
+        (m.instrs_per_sec(), m.instructions)
+    };
+    let mut with_artifacts = (0.0f64, 0u64);
+    let mut without_artifacts = (0.0f64, 0u64);
+    for _ in 0..reps {
+        let run = table6_cold(&mut SimSession::new());
+        if run.0 > with_artifacts.0 {
+            with_artifacts = run;
+        }
+        let run = table6_cold(&mut SimSession::new().with_artifact_budget(0));
+        if run.0 > without_artifacts.0 {
+            without_artifacts = run;
+        }
+    }
+    eprintln!(
+        "  table6 cold: {:.2}M instrs/s with artifacts ({} instrs), \
+         {:.2}M instrs/s without",
+        with_artifacts.0 / 1e6,
+        with_artifacts.1,
+        without_artifacts.0 / 1e6,
+    );
+
     let json = Json::Obj(vec![
         ("bench".into(), "fetch".to_json()),
         ("mode".into(), if fast { "fast" } else { "full" }.to_json()),
         ("instructions".into(), streamed.to_json()),
         ("runs".into(), (runs.len() as u64).to_json()),
         ("results".into(), rows.to_json()),
+        (
+            "replay".into(),
+            Json::Obj(vec![
+                (
+                    "results".into(),
+                    Json::Arr(
+                        replay_rows
+                            .iter()
+                            .map(|(name, rate)| {
+                                Json::Obj(vec![
+                                    ("name".to_string(), name.to_json()),
+                                    ("instrs_per_sec".to_string(), rate.to_json()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("replay_vs_interpreted".into(), replay_speedup.to_json()),
+                ("artifact_runs".into(), (artifact.len() as u64).to_json()),
+                ("artifact_bytes".into(), (artifact.bytes() as u64).to_json()),
+            ]),
+        ),
+        (
+            "table6_cold".into(),
+            Json::Obj(vec![
+                ("instructions".into(), with_artifacts.1.to_json()),
+                ("instrs_per_sec".into(), with_artifacts.0.to_json()),
+                (
+                    "instrs_per_sec_no_artifacts".into(),
+                    without_artifacts.0.to_json(),
+                ),
+                // Throughput recorded before this change on the original
+                // hardware, for the speedup claim tracked in
+                // EXPERIMENTS.md.
+                (
+                    "pre_artifact_reference_instrs_per_sec".into(),
+                    32.0e6.to_json(),
+                ),
+                (
+                    "speedup_vs_reference".into(),
+                    (with_artifacts.0 / 32.0e6).to_json(),
+                ),
+            ]),
+        ),
     ]);
     // Cargo runs benches with the package directory as cwd; anchor the
     // result file at the workspace root where it is committed.
@@ -165,6 +317,13 @@ fn main() {
         eprintln!(
             "FAIL: batched path slower than scalar on direct_2k_64 ({:.2}x)",
             headline.speedup()
+        );
+        std::process::exit(1);
+    }
+    if replay_speedup < 1.0 {
+        eprintln!(
+            "FAIL: artifact replay slower than the interpreted walk on the sweep \
+             ({replay_speedup:.2}x)"
         );
         std::process::exit(1);
     }

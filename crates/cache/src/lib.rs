@@ -39,6 +39,7 @@
 
 mod config;
 mod hierarchy;
+mod lanes;
 mod multi;
 pub mod opt;
 pub mod paging;
@@ -51,6 +52,7 @@ mod victim;
 
 pub use config::{Associativity, CacheConfig, ConfigError, FillPolicy, Replacement};
 pub use hierarchy::{HierarchyLatency, TwoLevel};
+pub use lanes::MultiLane;
 pub use multi::CacheBank;
 pub use prefetch::NextLinePrefetcher;
 pub use sim::{AccessSink, Cache, FnSink};

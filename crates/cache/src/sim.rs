@@ -91,7 +91,7 @@ pub struct Cache {
 }
 
 /// `log2(WORD_BYTES)`.
-const WORD_SHIFT: u32 = WORD_BYTES.trailing_zeros();
+pub(crate) const WORD_SHIFT: u32 = WORD_BYTES.trailing_zeros();
 
 impl Cache {
     /// Creates a cache for `config`.
@@ -465,6 +465,31 @@ impl Cache {
                 w += 1;
             }
         }
+    }
+}
+
+impl Cache {
+    /// Batched demand accesses to `n` consecutive words of **one** cache
+    /// line, starting at `addr` (word `w0` of its block): the span
+    /// [`Cache::access_run`] decomposes runs into, exposed so
+    /// [`crate::MultiLane`] can decompose once per block geometry and
+    /// drive every same-geometry lane with the shared spans.
+    ///
+    /// Callers must guarantee `w0 == (addr % block_bytes) / 4` and
+    /// `w0 + n <= words_per_block` for *this* cache's geometry.
+    pub(crate) fn line_run(&mut self, addr: u64, w0: u64, n: u64) {
+        debug_assert_eq!(w0, (addr & self.block_mask) >> WORD_SHIFT);
+        debug_assert!(w0 + n <= self.words_per_block);
+        if self.fast_path {
+            self.line_run_fast(addr, n);
+        } else {
+            self.line_run_general(addr, w0, n);
+        }
+    }
+
+    /// `block_bytes` of this cache's geometry (the span-grouping key).
+    pub(crate) fn block_bytes(&self) -> u64 {
+        self.config.block_bytes
     }
 }
 

@@ -15,12 +15,18 @@
 //!    requested configurations accumulate into one deduplicated union
 //!    per key.
 //! 2. **Execute** — [`execute`](SimSession::execute) streams every
-//!    pending trace exactly once, fanning keys across up to
-//!    [`jobs`](SimSession::jobs) scoped threads
+//!    pending trace **through the interpreter at most once**, fanning
+//!    keys across up to [`jobs`](SimSession::jobs) scoped threads
 //!    ([`impact_support::parallel_map`]); each stream drives a single
-//!    [`CacheBank`] holding the key's config union plus any attached
-//!    sinks. Results are stored per key, in deterministic order — with
-//!    one job the execution is exactly today's serial loop.
+//!    [`MultiLane`] bank holding the key's config union plus any
+//!    attached sinks, while a [`CaptureSink`] tee records the run
+//!    stream into a [`RunBuffer`] artifact. Keys that gain demands
+//!    *after* their first execution replay the artifact at memcpy
+//!    speed instead of re-walking the interpreter (a session-level
+//!    byte budget caps artifact memory; over budget, late demands fall
+//!    back to re-streaming). Results are stored per key, in
+//!    deterministic order — with one job the execution is exactly
+//!    today's serial loop.
 //! 3. **Serve** — [`stats`](SimSession::stats),
 //!    [`instructions`](SimSession::instructions) and
 //!    [`take_sink`](SimSession::take_sink) hand results back through the
@@ -36,12 +42,22 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
-use impact_cache::{AccessSink, CacheBank, CacheConfig, CacheStats};
+use impact_cache::{AccessSink, CacheConfig, CacheStats, MultiLane};
 use impact_ir::{Program, Terminator};
 use impact_layout::Placement;
 use impact_profile::ExecLimits;
 use impact_support::json::{Json, ToJson};
-use impact_trace::TraceGenerator;
+use impact_trace::{CaptureSink, RunBuffer, TraceGenerator};
+
+/// Default cap on run-buffer artifact memory per session (bytes). Run
+/// buffers cost ~16 bytes per straight-line stretch (~10–15 dynamic
+/// instructions), so the default holds roughly two billion instructions
+/// of unique trace — far beyond a full 16-table `repro` run — while
+/// bounding a long-lived service. Tune with
+/// [`SimSession::with_artifact_budget`]; a budget of `0` disables
+/// capture entirely (every late demand re-streams the interpreter, the
+/// pre-artifact behavior).
+pub const DEFAULT_ARTIFACT_BUDGET: usize = 256 << 20;
 
 /// Ticket for one [`SimSession::request`]: redeem with
 /// [`SimSession::stats`] / [`SimSession::instructions`] after
@@ -83,10 +99,10 @@ impl<S: AccessSink + Send + 'static> SessionSink for S {
     }
 }
 
-/// Fans one run-batched trace stream across the key's cache bank and its
+/// Fans one run-batched trace stream across the key's lane bank and its
 /// attached sinks, preserving run granularity for both.
 struct Fanout<'a> {
-    bank: &'a mut CacheBank,
+    bank: &'a mut MultiLane,
     sinks: &'a mut Vec<Box<dyn SessionSink>>,
 }
 
@@ -127,6 +143,11 @@ struct KeyEntry {
     streamed_sinks: usize,
     /// Trace length, once streamed at least once.
     instructions: Option<u64>,
+    /// Captured run-buffer artifact of this key's trace: recorded on
+    /// the first (interpreter) execution, replayed for every later
+    /// demand. `None` before the first execution, or when storing it
+    /// would exceed the session artifact budget.
+    artifact: Option<RunBuffer>,
 }
 
 impl KeyEntry {
@@ -137,7 +158,29 @@ impl KeyEntry {
     }
 }
 
-/// One trace stream performed by [`SimSession::execute`].
+/// How one [`SimRecord`]'s instructions were delivered to the sinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimMode {
+    /// First execution of the key: the CFG interpreter walked the
+    /// program (capturing the run-buffer artifact along the way).
+    Interpreted,
+    /// Later execution of the key: its stored [`RunBuffer`] artifact
+    /// was replayed, no interpreter involved.
+    Replayed,
+}
+
+impl SimMode {
+    /// Stable label used in metrics documents.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SimMode::Interpreted => "interpreted",
+            SimMode::Replayed => "replayed",
+        }
+    }
+}
+
+/// One trace delivery performed by [`SimSession::execute`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimRecord {
     /// Key fingerprint (hex), stable within a process run.
@@ -152,6 +195,8 @@ pub struct SimRecord {
     pub instructions: u64,
     /// Wall-clock nanoseconds spent streaming.
     pub nanos: u64,
+    /// Interpreter walk or artifact replay.
+    pub mode: SimMode,
 }
 
 impl SimRecord {
@@ -182,11 +227,15 @@ pub struct SimMetrics {
     pub requests: u64,
     /// Distinct `(program, placement, seed, limits)` keys interned.
     pub unique_traces: u64,
-    /// Trace streams actually performed.
+    /// Interpreter trace walks actually performed.
     pub traces_streamed: u64,
-    /// Streams of a key that had already been streamed (0 when every
-    /// demand was planned before the first `execute`).
+    /// Interpreter re-walks of a key that had already been streamed —
+    /// the artifact-budget fallback path (0 whenever artifacts are on
+    /// and within budget).
     pub restreams: u64,
+    /// Artifact replays: late demands served by replaying the key's
+    /// stored run buffer instead of re-walking the interpreter.
+    pub replays: u64,
     /// Requests that hit an already-interned key.
     pub memo_key_hits: u64,
     /// Config results requested across all `request` calls.
@@ -195,8 +244,25 @@ pub struct SimMetrics {
     pub configs_simulated: u64,
     /// Config results served from the memo instead of a new simulation.
     pub memo_served: u64,
-    /// Total instructions streamed.
+    /// Total instructions of unique traces (each counted once).
     pub instructions: u64,
+    /// Instructions delivered by interpreter walks (first streams and
+    /// budget-fallback re-streams).
+    pub instructions_interpreted: u64,
+    /// Instructions delivered by artifact replays.
+    pub instructions_replayed: u64,
+    /// Instructions whose re-simulation was avoided entirely because an
+    /// already-executed config result was memo-served (trace length ×
+    /// memo-served results of executed keys).
+    pub instructions_memo_served: u64,
+    /// Nanoseconds spent in interpreter walks (summed over threads).
+    pub interp_nanos: u64,
+    /// Nanoseconds spent in artifact replays (summed over threads).
+    pub replay_nanos: u64,
+    /// Run-buffer artifacts currently stored.
+    pub artifacts_stored: u64,
+    /// Bytes held by stored artifacts (counted against the budget).
+    pub artifact_bytes: u64,
     /// Total nanoseconds across streams (summed over threads).
     pub sim_nanos: u64,
     /// Wall-clock nanoseconds inside `execute`.
@@ -209,11 +275,28 @@ pub struct SimMetrics {
 }
 
 impl SimMetrics {
-    /// Aggregate simulated instructions per second (sim time, summed
-    /// across threads).
+    /// Aggregate delivered instructions per second (interpreted plus
+    /// replayed, over total sim time summed across threads).
     #[must_use]
     pub fn instrs_per_sec(&self) -> f64 {
-        per_sec(self.instructions, self.sim_nanos)
+        per_sec(
+            self.instructions_interpreted + self.instructions_replayed,
+            self.sim_nanos,
+        )
+    }
+
+    /// Interpreter-walk instructions per second (0.0 when nothing was
+    /// interpreted — the division is guarded, never `NaN`/`inf`).
+    #[must_use]
+    pub fn interpreted_instrs_per_sec(&self) -> f64 {
+        per_sec(self.instructions_interpreted, self.interp_nanos)
+    }
+
+    /// Artifact-replay instructions per second (0.0 when nothing was
+    /// replayed — the division is guarded, never `NaN`/`inf`).
+    #[must_use]
+    pub fn replayed_instrs_per_sec(&self) -> f64 {
+        per_sec(self.instructions_replayed, self.replay_nanos)
     }
 
     /// Multi-line human summary (the `repro` stderr report).
@@ -223,24 +306,52 @@ impl SimMetrics {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "sim: {} unique traces, {} streamed ({} re-streams), {} memo key hits",
-            self.unique_traces, self.traces_streamed, self.restreams, self.memo_key_hits
+            "sim: {} unique traces, {} streamed ({} re-streams), {} replays, {} memo key hits",
+            self.unique_traces,
+            self.traces_streamed,
+            self.restreams,
+            self.replays,
+            self.memo_key_hits
         );
         let _ = writeln!(
             out,
             "sim: {} config results requested, {} simulated, {} memo-served",
             self.configs_requested, self.configs_simulated, self.memo_served
         );
+        // Per-mode accounting with guarded rates: a session where
+        // everything replays (or is memo-served) must report honest
+        // numbers, not a division by a near-zero interpreter time.
+        let _ = writeln!(
+            out,
+            "sim: interpreted {} instrs ({}), replayed {} ({}), memo-served {} (no sim time)",
+            self.instructions_interpreted,
+            rate_label(self.interpreted_instrs_per_sec()),
+            self.instructions_replayed,
+            rate_label(self.replayed_instrs_per_sec()),
+            self.instructions_memo_served,
+        );
         let _ = write!(
             out,
-            "sim: {} instructions in {:.2?} sim time ({:.2}M instr/s, {} jobs, {:.2?} wall)",
-            self.instructions,
+            "sim: {} instructions delivered in {:.2?} sim time ({:.2}M instr/s, {} jobs, {:.2?} wall, {} artifacts / {} KiB)",
+            self.instructions_interpreted + self.instructions_replayed,
             std::time::Duration::from_nanos(self.sim_nanos),
             self.instrs_per_sec() / 1e6,
             self.jobs,
             std::time::Duration::from_nanos(self.wall_nanos),
+            self.artifacts_stored,
+            self.artifact_bytes >> 10,
         );
         out
+    }
+}
+
+/// `"230.36M instr/s"` — or `"-"` when nothing ran in that mode, so a
+/// zero-work mode never renders as a bogus rate.
+fn rate_label(rate: f64) -> String {
+    if rate == 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}M instr/s", rate / 1e6)
     }
 }
 
@@ -262,6 +373,7 @@ impl ToJson for SimRecord {
             ("instructions".into(), self.instructions.to_json()),
             ("nanos".into(), self.nanos.to_json()),
             ("instrs_per_sec".into(), self.instrs_per_sec().to_json()),
+            ("mode".into(), self.mode.label().to_json()),
         ])
     }
 }
@@ -284,11 +396,36 @@ impl ToJson for SimMetrics {
             ("unique_traces".into(), self.unique_traces.to_json()),
             ("traces_streamed".into(), self.traces_streamed.to_json()),
             ("restreams".into(), self.restreams.to_json()),
+            ("replays".into(), self.replays.to_json()),
             ("memo_key_hits".into(), self.memo_key_hits.to_json()),
             ("configs_requested".into(), self.configs_requested.to_json()),
             ("configs_simulated".into(), self.configs_simulated.to_json()),
             ("memo_served".into(), self.memo_served.to_json()),
             ("instructions".into(), self.instructions.to_json()),
+            (
+                "instructions_interpreted".into(),
+                self.instructions_interpreted.to_json(),
+            ),
+            (
+                "instructions_replayed".into(),
+                self.instructions_replayed.to_json(),
+            ),
+            (
+                "instructions_memo_served".into(),
+                self.instructions_memo_served.to_json(),
+            ),
+            ("interp_nanos".into(), self.interp_nanos.to_json()),
+            ("replay_nanos".into(), self.replay_nanos.to_json()),
+            (
+                "interpreted_instrs_per_sec".into(),
+                self.interpreted_instrs_per_sec().to_json(),
+            ),
+            (
+                "replayed_instrs_per_sec".into(),
+                self.replayed_instrs_per_sec().to_json(),
+            ),
+            ("artifacts_stored".into(), self.artifacts_stored.to_json()),
+            ("artifact_bytes".into(), self.artifact_bytes.to_json()),
             ("sim_nanos".into(), self.sim_nanos.to_json()),
             ("wall_nanos".into(), self.wall_nanos.to_json()),
             ("instrs_per_sec".into(), self.instrs_per_sec().to_json()),
@@ -311,9 +448,19 @@ pub struct SimSession {
     memo_served: u64,
     traces_streamed: u64,
     restreams: u64,
+    replays: u64,
     instructions: u64,
+    instructions_interpreted: u64,
+    instructions_replayed: u64,
+    instructions_memo_served: u64,
+    interp_nanos: u64,
+    replay_nanos: u64,
     sim_nanos: u64,
     wall_nanos: u64,
+    /// Bytes currently held by stored artifacts.
+    artifact_bytes: usize,
+    /// Cap on artifact memory; 0 disables capture.
+    artifact_budget: usize,
     simulations: Vec<SimRecord>,
     tables: Vec<TableRecord>,
 }
@@ -356,12 +503,30 @@ impl SimSession {
             memo_served: 0,
             traces_streamed: 0,
             restreams: 0,
+            replays: 0,
             instructions: 0,
+            instructions_interpreted: 0,
+            instructions_replayed: 0,
+            instructions_memo_served: 0,
+            interp_nanos: 0,
+            replay_nanos: 0,
             sim_nanos: 0,
             wall_nanos: 0,
+            artifact_bytes: 0,
+            artifact_budget: DEFAULT_ARTIFACT_BUDGET,
             simulations: Vec::new(),
             tables: Vec::new(),
         }
+    }
+
+    /// Replaces the run-buffer artifact budget (bytes). `0` disables
+    /// artifact capture: every late demand re-streams the interpreter,
+    /// which is the pre-artifact behavior (and the baseline arm of the
+    /// replay benchmarks).
+    #[must_use]
+    pub fn with_artifact_budget(mut self, bytes: usize) -> Self {
+        self.artifact_budget = bytes;
+        self
     }
 
     /// The worker-thread cap used by [`SimSession::execute`] (and
@@ -392,11 +557,20 @@ impl SimSession {
         self.configs_requested += configs.len() as u64;
         let entry = &mut self.keys[key];
         let mut memo = 0u64;
+        let mut memo_instrs = 0u64;
         let slots = configs
             .iter()
             .map(|c| {
                 if let Some(i) = entry.configs.iter().position(|e| e == c) {
                     memo += 1;
+                    if i < entry.simulated {
+                        // The result already exists: an entire
+                        // simulation pass over the trace was avoided.
+                        // (Duplicates that are merely *planned* dedups —
+                        // the key not yet executed — have no known trace
+                        // length yet and count only in `memo_served`.)
+                        memo_instrs += entry.instructions.unwrap_or(0);
+                    }
                     i
                 } else {
                     entry.configs.push(*c);
@@ -405,6 +579,7 @@ impl SimSession {
             })
             .collect();
         self.memo_served += memo;
+        self.instructions_memo_served += memo_instrs;
         SimHandle { key, slots }
     }
 
@@ -466,24 +641,30 @@ impl SimSession {
             sinks: Vec::new(),
             streamed_sinks: 0,
             instructions: None,
+            artifact: None,
         });
         self.by_fp.entry(fp).or_default().push(i);
         i
     }
 
-    /// Streams every pending trace exactly once, fanning keys across up
-    /// to [`SimSession::jobs`] scoped threads. Results land in
+    /// Delivers every pending trace exactly once, fanning keys across
+    /// up to [`SimSession::jobs`] scoped threads. Results land in
     /// deterministic (insertion) order regardless of thread scheduling;
     /// with one job this is a plain serial loop.
     ///
-    /// Keys that gained configs or sinks *after* already being streamed
-    /// are re-streamed for the new demands only (counted as
-    /// [`SimMetrics::restreams`]); planning all demands before the first
-    /// `execute` keeps every trace at exactly one stream.
+    /// A key's **first** execution walks the CFG interpreter, capturing
+    /// the run stream into a [`RunBuffer`] artifact while it drives the
+    /// lane bank. Keys that gained configs or sinks *after* already
+    /// being executed **replay** their artifact (counted as
+    /// [`SimMetrics::replays`]) — bit-identical to a re-walk, at memcpy
+    /// speed. Only when the artifact budget kept a buffer from being
+    /// stored does a late demand re-walk the interpreter (counted as
+    /// [`SimMetrics::restreams`]).
     pub fn execute(&mut self) {
-        // One pending key's mutable pieces: index, a fresh bank over its
-        // not-yet-simulated configs, and its not-yet-streamed sinks.
-        type PendingWork = (usize, CacheBank, Vec<Box<dyn SessionSink>>);
+        // One pending key's mutable pieces: index, a fresh lane bank
+        // over its not-yet-simulated configs, its not-yet-streamed
+        // sinks, and whether a capture should be recorded.
+        type PendingWork = (usize, MultiLane, Vec<Box<dyn SessionSink>>, bool);
 
         let wall = Instant::now();
         // Phase 1: pull the mutable pieces (fresh banks, pending sinks)
@@ -493,53 +674,86 @@ impl SimSession {
             if !k.pending() {
                 continue;
             }
-            let bank = CacheBank::new(k.configs[k.simulated..].iter().copied());
+            let bank = MultiLane::new(k.configs[k.simulated..].iter().copied());
             let sinks: Vec<Box<dyn SessionSink>> = k.sinks[k.streamed_sinks..]
                 .iter_mut()
                 .map(|s| s.take().expect("pending sinks cannot have been taken"))
                 .collect();
-            taken.push((i, bank, sinks));
+            // Capture unless this key already holds an artifact or the
+            // budget is exhausted (the precise size check happens at
+            // filing time; this avoids recording buffers that could
+            // never be stored).
+            let capture = k.artifact.is_none() && self.artifact_bytes < self.artifact_budget;
+            taken.push((i, bank, sinks, capture));
         }
         if taken.is_empty() {
             return;
         }
 
-        // Phase 2: stream each pending key once, in parallel. Work items
-        // carry shared references to their key's program/placement so the
-        // closure never touches the (non-`Sync`) sink storage.
+        // Phase 2: deliver each pending key's trace once, in parallel —
+        // replaying its stored artifact when one exists, walking the
+        // interpreter (under a capture tee) otherwise. Work items carry
+        // shared references to their key's program/placement/artifact so
+        // the closure never touches the (non-`Sync`) sink storage.
         let work: Vec<_> = taken
             .into_iter()
-            .map(|(i, bank, sinks)| {
+            .map(|(i, bank, sinks, capture)| {
                 let k = &self.keys[i];
-                (i, &k.program, &k.placement, k.seed, k.limits, bank, sinks)
+                let gen_inputs = (&k.program, &k.placement, k.seed, k.limits);
+                (i, gen_inputs, k.artifact.as_ref(), bank, sinks, capture)
             })
             .collect();
         let results = impact_support::parallel_map(
             self.jobs,
             work,
-            |(i, program, placement, seed, limits, mut bank, mut sinks)| {
+            |(i, (program, placement, seed, limits), artifact, mut bank, mut sinks, capture)| {
                 let t0 = Instant::now();
-                let gen = TraceGenerator::new(program, placement).with_limits(limits);
-                let summary = gen.stream(
-                    seed,
-                    &mut Fanout {
-                        bank: &mut bank,
-                        sinks: &mut sinks,
-                    },
-                );
+                let mut fan = Fanout {
+                    bank: &mut bank,
+                    sinks: &mut sinks,
+                };
+                let (instructions, captured, mode) = match artifact {
+                    Some(buf) => {
+                        buf.replay(&mut fan);
+                        (buf.instructions(), None, SimMode::Replayed)
+                    }
+                    None if capture => {
+                        let gen = TraceGenerator::new(program, placement).with_limits(limits);
+                        let mut buf = RunBuffer::new();
+                        let summary = gen.stream(seed, &mut CaptureSink::new(&mut buf, &mut fan));
+                        buf.shrink_to_fit();
+                        (summary.instructions, Some(buf), SimMode::Interpreted)
+                    }
+                    None => {
+                        let gen = TraceGenerator::new(program, placement).with_limits(limits);
+                        let summary = gen.stream(seed, &mut fan);
+                        (summary.instructions, None, SimMode::Interpreted)
+                    }
+                };
                 let nanos = t0.elapsed().as_nanos() as u64;
-                (i, bank, sinks, summary.instructions, nanos)
+                (i, bank, sinks, instructions, nanos, captured, mode)
             },
         );
 
         // Phase 3: file results back, serially, in key order.
-        for (i, mut bank, sinks, instructions, nanos) in results {
+        for (i, mut bank, sinks, instructions, nanos, captured, mode) in results {
             let k = &mut self.keys[i];
-            self.traces_streamed += 1;
-            if k.instructions.is_some() {
-                self.restreams += 1;
-            } else {
-                self.instructions += instructions;
+            match mode {
+                SimMode::Interpreted => {
+                    self.traces_streamed += 1;
+                    self.instructions_interpreted += instructions;
+                    self.interp_nanos += nanos;
+                    if k.instructions.is_some() {
+                        self.restreams += 1;
+                    } else {
+                        self.instructions += instructions;
+                    }
+                }
+                SimMode::Replayed => {
+                    self.replays += 1;
+                    self.instructions_replayed += instructions;
+                    self.replay_nanos += nanos;
+                }
             }
             self.sim_nanos += nanos;
             self.simulations.push(SimRecord {
@@ -549,7 +763,15 @@ impl SimSession {
                 sinks: sinks.len() as u64,
                 instructions,
                 nanos,
+                mode,
             });
+            if let Some(buf) = captured {
+                let bytes = buf.bytes();
+                if self.artifact_bytes + bytes <= self.artifact_budget {
+                    self.artifact_bytes += bytes;
+                    k.artifact = Some(buf);
+                }
+            }
             k.stats.extend(bank.take_stats());
             k.simulated = k.configs.len();
             for (slot, sink) in k.sinks[k.streamed_sinks..].iter_mut().zip(sinks) {
@@ -638,13 +860,21 @@ impl SimSession {
             unique_traces: self.keys.len() as u64,
             traces_streamed: self.traces_streamed,
             restreams: self.restreams,
+            replays: self.replays,
             memo_key_hits: self.memo_key_hits,
             configs_requested: self.configs_requested,
             configs_simulated: self.keys.iter().map(|k| k.simulated as u64).sum(),
             memo_served: self.memo_served,
             instructions: self.instructions,
+            instructions_interpreted: self.instructions_interpreted,
+            instructions_replayed: self.instructions_replayed,
+            instructions_memo_served: self.instructions_memo_served,
             sim_nanos: self.sim_nanos,
+            interp_nanos: self.interp_nanos,
+            replay_nanos: self.replay_nanos,
             wall_nanos: self.wall_nanos,
+            artifacts_stored: self.keys.iter().filter(|k| k.artifact.is_some()).count() as u64,
+            artifact_bytes: self.artifact_bytes as u64,
             simulations: self.simulations.clone(),
             tables: self.tables.clone(),
         }
@@ -920,7 +1150,7 @@ mod tests {
     }
 
     #[test]
-    fn late_demands_restream_correctly() {
+    fn late_demands_replay_the_stored_artifact() {
         let w = impact_workloads::by_name("cmp").unwrap();
         let placement = baseline::natural(&w.program);
         let c1 = [CacheConfig::direct_mapped(2048, 64)];
@@ -931,8 +1161,16 @@ mod tests {
         let h2 = s.request(&w.program, &placement, 2, LIMITS, &c2);
         s.execute();
         let m = s.metrics();
-        assert_eq!(m.traces_streamed, 2);
-        assert_eq!(m.restreams, 1);
+        // The first execute interprets (and captures); the late demand
+        // replays the artifact instead of re-walking the interpreter.
+        assert_eq!(m.traces_streamed, 1);
+        assert_eq!(m.replays, 1);
+        assert_eq!(m.restreams, 0);
+        assert_eq!(m.artifacts_stored, 1);
+        assert!(m.artifact_bytes > 0);
+        assert_eq!(m.instructions_interpreted, m.instructions);
+        assert_eq!(m.instructions_replayed, m.instructions);
+        // Replayed results are bit-identical to direct simulation.
         assert_eq!(
             s.stats(&h1),
             sim::simulate(&w.program, &placement, 2, LIMITS, &c1)
@@ -941,6 +1179,53 @@ mod tests {
             s.stats(&h2),
             sim::simulate(&w.program, &placement, 2, LIMITS, &c2)
         );
+    }
+
+    #[test]
+    fn zero_artifact_budget_falls_back_to_restreaming() {
+        let w = impact_workloads::by_name("cmp").unwrap();
+        let placement = baseline::natural(&w.program);
+        let c1 = [CacheConfig::direct_mapped(2048, 64)];
+        let c2 = [CacheConfig::direct_mapped(512, 64)];
+        let mut s = SimSession::new().with_artifact_budget(0);
+        let h1 = s.request(&w.program, &placement, 2, LIMITS, &c1);
+        s.execute();
+        let h2 = s.request(&w.program, &placement, 2, LIMITS, &c2);
+        s.execute();
+        let m = s.metrics();
+        // No capture possible, so the late demand re-walks: the pre-
+        // artifact behavior, kept as the budget-exhausted fallback.
+        assert_eq!(m.traces_streamed, 2);
+        assert_eq!(m.restreams, 1);
+        assert_eq!(m.replays, 0);
+        assert_eq!(m.artifacts_stored, 0);
+        assert_eq!(m.artifact_bytes, 0);
+        assert_eq!(
+            s.stats(&h1),
+            sim::simulate(&w.program, &placement, 2, LIMITS, &c1)
+        );
+        assert_eq!(
+            s.stats(&h2),
+            sim::simulate(&w.program, &placement, 2, LIMITS, &c2)
+        );
+    }
+
+    #[test]
+    fn memo_served_instructions_are_accounted() {
+        let w = impact_workloads::by_name("cmp").unwrap();
+        let placement = baseline::natural(&w.program);
+        let cfg = [CacheConfig::direct_mapped(2048, 64)];
+        let mut s = SimSession::new();
+        let _ = s.request(&w.program, &placement, 2, LIMITS, &cfg);
+        s.execute();
+        // Same key, same config: served from the memo, no simulation.
+        let _ = s.request(&w.program, &placement, 2, LIMITS, &cfg);
+        s.execute();
+        let m = s.metrics();
+        assert_eq!(m.traces_streamed, 1);
+        assert_eq!(m.replays, 0, "fully memo-served demands do not replay");
+        assert_eq!(m.instructions_memo_served, m.instructions);
+        assert_eq!(m.instructions_replayed, 0);
     }
 
     #[test]

@@ -174,14 +174,17 @@ impl Phase {
         }
     }
 
+    /// Nearest-rank percentile: the ⌈p/100 × n⌉-th smallest sample
+    /// (1-based). Always an observed latency — never interpolated — and
+    /// p100 is exactly the maximum.
     fn percentile(&self, p: f64) -> u64 {
         let mut sorted = self.latencies_us.clone();
         sorted.sort_unstable();
         if sorted.is_empty() {
             return 0;
         }
-        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-        sorted[idx.min(sorted.len() - 1)]
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
     }
 
     fn to_json(&self) -> Json {
@@ -392,5 +395,56 @@ fn main() -> ExitCode {
         smoke(&opts)
     } else {
         bench(&opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Phase;
+
+    fn phase(latencies_us: Vec<u64>) -> Phase {
+        Phase {
+            latencies_us,
+            wall_secs: 1.0,
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        // Canonical nearest-rank example: 5 samples. p30 → rank
+        // ⌈0.3×5⌉ = 2 → second smallest.
+        let p = phase(vec![15, 20, 35, 40, 50]);
+        assert_eq!(p.percentile(30.0), 20);
+        assert_eq!(p.percentile(40.0), 20);
+        assert_eq!(p.percentile(50.0), 35);
+        assert_eq!(p.percentile(100.0), 50);
+        // p99 of 5 samples is the max (rank ⌈4.95⌉ = 5), not an
+        // interpolated near-max value.
+        assert_eq!(p.percentile(99.0), 50);
+    }
+
+    #[test]
+    fn percentile_handles_degenerate_inputs() {
+        assert_eq!(phase(vec![]).percentile(50.0), 0);
+        let one = phase(vec![7]);
+        assert_eq!(one.percentile(1.0), 7);
+        assert_eq!(one.percentile(50.0), 7);
+        assert_eq!(one.percentile(100.0), 7);
+        // p0 clamps to the minimum rather than indexing below the data.
+        assert_eq!(phase(vec![3, 9]).percentile(0.0), 3);
+    }
+
+    #[test]
+    fn percentile_is_always_an_observed_sample() {
+        let samples = vec![100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
+        let p = phase(samples.clone());
+        for q in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
+            assert!(samples.contains(&p.percentile(q)), "p{q} not a sample");
+        }
+        // With n = 10, p90 is the 9th smallest — the old midpoint-round
+        // definition returned the 9th too, but p50 differed: nearest
+        // rank gives the 5th (500), not the 6th.
+        assert_eq!(p.percentile(50.0), 500);
+        assert_eq!(p.percentile(90.0), 900);
     }
 }

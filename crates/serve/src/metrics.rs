@@ -246,6 +246,7 @@ impl Metrics {
                         session.traces_streamed.to_json(),
                     ),
                     ("restreams".to_string(), session.restreams.to_json()),
+                    ("replays".to_string(), session.replays.to_json()),
                     ("memo_key_hits".to_string(), session.memo_key_hits.to_json()),
                     (
                         "configs_requested".to_string(),
@@ -259,8 +260,36 @@ impl Metrics {
                     ("memo_hit_rate".to_string(), memo_hit_rate.to_json()),
                     ("instructions".to_string(), session.instructions.to_json()),
                     (
+                        "instructions_interpreted".to_string(),
+                        session.instructions_interpreted.to_json(),
+                    ),
+                    (
+                        "instructions_replayed".to_string(),
+                        session.instructions_replayed.to_json(),
+                    ),
+                    (
+                        "instructions_memo_served".to_string(),
+                        session.instructions_memo_served.to_json(),
+                    ),
+                    (
                         "instrs_per_sec".to_string(),
                         session.instrs_per_sec().to_json(),
+                    ),
+                    (
+                        "interpreted_instrs_per_sec".to_string(),
+                        session.interpreted_instrs_per_sec().to_json(),
+                    ),
+                    (
+                        "replayed_instrs_per_sec".to_string(),
+                        session.replayed_instrs_per_sec().to_json(),
+                    ),
+                    (
+                        "artifacts_stored".to_string(),
+                        session.artifacts_stored.to_json(),
+                    ),
+                    (
+                        "artifact_bytes".to_string(),
+                        session.artifact_bytes.to_json(),
                     ),
                 ]),
             ),

@@ -132,6 +132,46 @@ fn simulate_is_bit_identical_to_direct_session_and_memoized() {
 }
 
 #[test]
+fn cold_repeat_config_demand_replays_the_stored_artifact() {
+    let server = start();
+    let program = Json::Str(program_text());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // First demand walks the interpreter (and captures the artifact).
+    let first = format!(
+        r#"{{"program": {program}, "seed": 5, "max_instrs": 40000,
+           "configs": [{{"size": 2048}}]}}"#
+    );
+    let resp = client.post_json("/v1/simulate", &first).unwrap();
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+
+    // Same trace key, a config the memo has never seen: served by
+    // replaying the artifact, not by re-walking the interpreter.
+    let cold = format!(
+        r#"{{"program": {program}, "seed": 5, "max_instrs": 40000,
+           "configs": [{{"size": 1024}}]}}"#
+    );
+    let resp = client.post_json("/v1/simulate", &cold).unwrap();
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+
+    let (_, body) = client.get("/metrics").unwrap();
+    let doc = parse_json(std::str::from_utf8(&body).unwrap()).unwrap();
+    let sim = doc.get("sim").unwrap();
+    assert_eq!(sim.get("traces_streamed").and_then(Json::as_u64), Some(1));
+    assert!(sim.get("replays").and_then(Json::as_u64).unwrap() >= 1);
+    assert_eq!(sim.get("restreams").and_then(Json::as_u64), Some(0));
+    assert!(sim.get("artifacts_stored").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(sim.get("artifact_bytes").and_then(Json::as_u64).unwrap() > 0);
+    assert!(
+        sim.get("instructions_replayed")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    server.stop();
+}
+
+#[test]
 fn bad_json_reports_the_position_over_http() {
     let server = start();
     let mut client = Client::connect(server.addr()).unwrap();

@@ -123,11 +123,14 @@ pub fn read_din<R: BufRead, F: FnMut(u64)>(reader: R, sink: F) -> Result<u64, Di
 }
 
 /// Streams every *instruction fetch* (label 2) of a din trace into
-/// `sink`, coalescing consecutive word-sequential fetches into runs —
-/// one [`AccessSink::access_run`](impact_cache::AccessSink::access_run)
-/// per sequential stretch. Data references are skipped (they also split
-/// runs: a fetch is "consecutive" only if no other record intervenes).
-/// Returns the number of fetches delivered.
+/// `sink`, coalescing word-sequential fetches into maximal runs — one
+/// [`AccessSink::access_run`](impact_cache::AccessSink::access_run) per
+/// sequential stretch. Data references are skipped and do **not** split
+/// runs: the instruction-fetch sinks this crate feeds never observe
+/// data records, so coalescing depends only on the fetch-address
+/// sequence, and a load between two back-to-back fetches (ubiquitous in
+/// real din traces) costs nothing in run compactness. Returns the
+/// number of fetches delivered.
 ///
 /// Lines are read into one reused buffer, so arbitrarily long traces
 /// stream without per-line allocation.
@@ -181,12 +184,10 @@ pub fn read_din_runs<R: BufRead, S: impact_cache::AccessSink>(
             flush_run(sink, run_start, run_words);
             run_start = addr;
             run_words = 1;
-        } else {
-            // A data reference between two fetches means the fetches were
-            // not back-to-back; end the run at the record boundary.
-            flush_run(sink, run_start, run_words);
-            run_words = 0;
         }
+        // Non-fetch records are skipped entirely — they must not break a
+        // fetch run (the sink never sees them, so an intervening load
+        // between sequential fetches leaves the fetch stream sequential).
     }
 }
 
@@ -284,13 +285,71 @@ mod tests {
                 self.0.push((addr, words));
             }
         }
-        // Three sequential fetches, a jump, two more, a data reference
-        // splitting an otherwise-sequential pair.
+        // Three sequential fetches, a jump, then a sequential pair with
+        // an intervening data reference: the data record is invisible to
+        // instruction sinks, so it must not break the run.
         let din = "2 0\n2 4\n2 8\n2 100\n2 104\n0 beef\n2 108\n";
         let mut runs = Runs(Vec::new());
         let n = read_din_runs(din.as_bytes(), &mut runs).unwrap();
         assert_eq!(n, 6);
-        assert_eq!(runs.0, vec![(0, 3), (0x100, 2), (0x108, 1)]);
+        assert_eq!(runs.0, vec![(0, 3), (0x100, 3)]);
+    }
+
+    #[test]
+    fn read_din_runs_never_emits_zero_length_runs() {
+        struct Runs(Vec<(u64, u64)>);
+        impl impact_cache::AccessSink for Runs {
+            fn access(&mut self, _addr: u64) {
+                unreachable!("runs only");
+            }
+            fn access_run(&mut self, addr: u64, words: u64) {
+                assert!(words > 0, "zero-length run at {addr:#x}");
+                self.0.push((addr, words));
+            }
+        }
+        // Empty stretches everywhere a flush could fire: leading data
+        // records, data-only bodies, trailing data records, and EOF with
+        // nothing pending.
+        for din in ["", "0 10\n1 14\n", "0 10\n2 0\n0 14\n1 18\n", "# only\n\n"] {
+            let mut runs = Runs(Vec::new());
+            read_din_runs(din.as_bytes(), &mut runs).unwrap();
+            let fetches: u64 = runs.0.iter().map(|&(_, n)| n).sum();
+            assert_eq!(
+                fetches,
+                din.lines().filter(|l| l.starts_with('2')).count() as u64
+            );
+        }
+        // ... and ahead of a parse error with an empty pending run.
+        let mut runs = Runs(Vec::new());
+        assert!(read_din_runs("0 10\nbogus\n".as_bytes(), &mut runs).is_err());
+        assert!(runs.0.is_empty());
+    }
+
+    #[test]
+    fn read_din_runs_split_invariance_under_data_interleaving() {
+        // The same fetch sequence, bare vs. interleaved with data
+        // records after every fetch, must produce identical runs.
+        let fetches = [0u64, 4, 8, 0x40, 0x44, 0x48, 0x4c, 8, 0xc];
+        let bare: String = fetches.iter().map(|a| format!("2 {a:x}\n")).collect();
+        let interleaved: String = fetches
+            .iter()
+            .map(|a| format!("2 {a:x}\n0 {:x}\n1 {:x}\n", a + 0x1000, a + 0x2000))
+            .collect();
+        struct Runs(Vec<(u64, u64)>);
+        impl impact_cache::AccessSink for Runs {
+            fn access(&mut self, _addr: u64) {
+                unreachable!("runs only");
+            }
+            fn access_run(&mut self, addr: u64, words: u64) {
+                self.0.push((addr, words));
+            }
+        }
+        let mut a = Runs(Vec::new());
+        let mut b = Runs(Vec::new());
+        read_din_runs(bare.as_bytes(), &mut a).unwrap();
+        read_din_runs(interleaved.as_bytes(), &mut b).unwrap();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.0, vec![(0, 3), (0x40, 4), (8, 2)]);
     }
 
     #[test]

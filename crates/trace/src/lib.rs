@@ -43,7 +43,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod din;
+
+pub use artifact::{CaptureSink, RunBuffer};
 
 use impact_cache::{AccessSink, FnSink};
 use impact_ir::{BlockId, FuncId, Program, BYTES_PER_INSTR};
@@ -305,6 +308,54 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn taken_transfer_to_the_fall_through_address_extends_the_run() {
+        // A *taken* branch whose target happens to be placed at the
+        // exact fall-through address must not split the run: coalescing
+        // is address-based, not transfer-kind-based. (Artifact
+        // compactness depends on this — a split here would double the
+        // run count of loop-free code laid out in trace order.)
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let a = f.block_n(2);
+        let b = f.block_n(1);
+        let c = f.block_n(3);
+        // `a` always *takes* its branch to `b`; natural placement puts
+        // `b` directly after `a`, so the taken target is the
+        // fall-through address.
+        f.terminate(a, Terminator::branch(b, c, BranchBias::fixed(1.0)));
+        f.terminate(b, Terminator::Jump { target: c });
+        f.terminate(c, Terminator::Exit);
+        let id = f.finish();
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let placement = baseline::natural(&p);
+        let main = p.entry();
+        let a_words = p.function(main).block(BlockId::new(0)).instr_count();
+        assert_eq!(
+            placement.addr(main, BlockId::new(1)),
+            placement.addr(main, BlockId::new(0)) + a_words * BYTES_PER_INSTR,
+            "test needs b placed at a's fall-through"
+        );
+        struct Runs(Vec<(u64, u64)>);
+        impl impact_cache::AccessSink for Runs {
+            fn access(&mut self, _addr: u64) {
+                unreachable!("stream must emit whole runs");
+            }
+            fn access_run(&mut self, addr: u64, words: u64) {
+                self.0.push((addr, words));
+            }
+        }
+        let mut runs = Runs(Vec::new());
+        let summary = TraceGenerator::new(&p, &placement).stream(1, &mut runs);
+        // a, b, c are contiguous in both placement and execution order:
+        // exactly one maximal run covering the whole execution.
+        assert_eq!(
+            runs.0,
+            vec![(placement.addr(main, BlockId::new(0)), summary.instructions)]
+        );
     }
 
     #[test]

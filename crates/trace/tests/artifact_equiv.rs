@@ -1,0 +1,136 @@
+//! Property tests pinning artifact replay to direct streaming.
+//!
+//! A [`RunBuffer`] records the exact `access_run` call sequence a
+//! [`TraceGenerator`] walk produced; replaying it must therefore leave
+//! every simulation sink in *exactly* the state a direct stream would —
+//! identical [`CacheStats`] and identical internal cache state (tags,
+//! valid bitmaps, recency stamps) — for every cache organization the
+//! paper evaluates. Real workload CFGs (loops, calls, biased branches)
+//! drive the walk, and the capture tee is checked against the
+//! standalone capture so both recording paths agree.
+
+use impact_cache::{
+    Associativity, Cache, CacheConfig, CacheStats, FillPolicy, MultiLane, Replacement,
+};
+use impact_profile::ExecLimits;
+use impact_support::check;
+use impact_support::rng::Rng;
+use impact_trace::{CaptureSink, RunBuffer, TraceGenerator};
+
+const LIMITS: ExecLimits = ExecLimits {
+    max_instructions: 30_000,
+    max_call_depth: 512,
+};
+
+/// Every (fill × associativity × replacement) combination at the paper's
+/// 1 KB / 64 B geometry.
+fn config_grid() -> Vec<CacheConfig> {
+    let fills = [
+        FillPolicy::FullBlock,
+        FillPolicy::Sectored { sector_bytes: 8 },
+        FillPolicy::Sectored { sector_bytes: 32 },
+        FillPolicy::Partial,
+    ];
+    let assocs = [
+        Associativity::Direct,
+        Associativity::Ways(2),
+        Associativity::Ways(4),
+        Associativity::Full,
+    ];
+    let repls = [Replacement::Lru, Replacement::Fifo, Replacement::Random];
+    let mut grid = Vec::new();
+    for fill in fills {
+        for assoc in assocs {
+            for repl in repls {
+                grid.push(
+                    CacheConfig::direct_mapped(1024, 64)
+                        .with_associativity(assoc)
+                        .with_fill(fill)
+                        .with_replacement(repl),
+                );
+            }
+        }
+    }
+    grid
+}
+
+/// A random `(workload, input seed)` pair: varied CFG shapes × varied
+/// dynamic paths.
+fn gen_case(rng: &mut Rng) -> (impact_workloads::Workload, u64) {
+    let all = impact_workloads::all();
+    let w = all[rng.gen_below(all.len() as u64) as usize].clone();
+    (w, rng.gen_below(u64::MAX))
+}
+
+#[test]
+fn artifact_replay_is_bit_identical_to_direct_streaming() {
+    let grid = config_grid();
+    check::forall(24, gen_case, |(w, seed)| {
+        let placement = impact_layout::baseline::natural(&w.program);
+        let gen = TraceGenerator::new(&w.program, &placement).with_limits(LIMITS);
+        let (buf, summary) = RunBuffer::capture(&gen, *seed);
+        assert_eq!(buf.instructions(), summary.instructions);
+        for &config in &grid {
+            let mut direct = Cache::new(config);
+            gen.stream(*seed, &mut direct);
+            let mut replayed = Cache::new(config);
+            buf.replay(&mut replayed);
+            assert_eq!(
+                replayed.state_fingerprint(),
+                direct.state_fingerprint(),
+                "cache state diverged for {config:?}"
+            );
+            assert_eq!(
+                replayed.take_stats(),
+                direct.take_stats(),
+                "stats diverged for {config:?}"
+            );
+        }
+    });
+}
+
+#[test]
+fn capture_tee_agrees_with_standalone_capture_and_forwards_faithfully() {
+    check::forall(24, gen_case, |(w, seed)| {
+        let placement = impact_layout::baseline::natural(&w.program);
+        let gen = TraceGenerator::new(&w.program, &placement).with_limits(LIMITS);
+
+        let config = CacheConfig::direct_mapped(2048, 64);
+        let mut teed = Cache::new(config);
+        let mut buf = RunBuffer::new();
+        gen.stream(*seed, &mut CaptureSink::new(&mut buf, &mut teed));
+
+        let (standalone, _) = RunBuffer::capture(&gen, *seed);
+        assert_eq!(buf, standalone, "tee and standalone capture diverged");
+
+        let mut direct = Cache::new(config);
+        gen.stream(*seed, &mut direct);
+        assert_eq!(teed.state_fingerprint(), direct.state_fingerprint());
+        assert_eq!(teed.take_stats(), direct.take_stats());
+    });
+}
+
+#[test]
+fn one_replay_drives_a_whole_lane_bank_exactly() {
+    // The session's actual fast path: replay once into a MultiLane and
+    // match N direct single-config streams.
+    let grid = config_grid();
+    check::forall(8, gen_case, |(w, seed)| {
+        let placement = impact_layout::baseline::natural(&w.program);
+        let gen = TraceGenerator::new(&w.program, &placement).with_limits(LIMITS);
+        let (buf, _) = RunBuffer::capture(&gen, *seed);
+
+        let mut lanes = MultiLane::new(grid.iter().copied());
+        buf.replay(&mut lanes);
+
+        let direct: Vec<CacheStats> = grid
+            .iter()
+            .map(|&config| {
+                let mut cache = Cache::new(config);
+                gen.stream(*seed, &mut cache);
+                cache.take_stats()
+            })
+            .collect();
+        assert_eq!(lanes.take_stats(), direct);
+    });
+}
