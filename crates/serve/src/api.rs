@@ -25,6 +25,7 @@ use impact_support::json::{parse as parse_json, Json, ToJson};
 
 use crate::http::{Request, Response};
 use crate::metrics::{Endpoint, Metrics};
+use crate::rcache::ResponseCache;
 
 /// Default evaluation input seed (the CLI's `--seed` default).
 pub const DEFAULT_SEED: u64 = 1_000_003;
@@ -41,16 +42,27 @@ pub struct AppState {
     pub session: SharedSimSession,
     /// Service counters rendered by `GET /metrics`.
     pub metrics: Metrics,
+    /// Serving-layer response memo consulted by the reactor before
+    /// dispatch (exact `(target, body)` bytes → first response).
+    pub rcache: ResponseCache,
 }
 
 impl AppState {
     /// Fresh state whose evaluation engine streams with `sim_jobs`
-    /// worker threads per evaluation.
+    /// worker threads per evaluation; default response-memo budget.
     #[must_use]
     pub fn new(sim_jobs: usize) -> Self {
+        Self::with_cache(sim_jobs, crate::rcache::DEFAULT_CACHE_BYTES)
+    }
+
+    /// Like [`AppState::new`] with an explicit response-memo byte
+    /// budget (`0` disables the memo).
+    #[must_use]
+    pub fn with_cache(sim_jobs: usize, response_cache_bytes: usize) -> Self {
         Self {
             session: SharedSimSession::with_jobs(sim_jobs),
             metrics: Metrics::new(),
+            rcache: ResponseCache::new(response_cache_bytes),
         }
     }
 }
@@ -72,10 +84,13 @@ pub fn route(state: &AppState, req: &Request) -> (Endpoint, Response) {
         ("POST", "/v1/layout") => (Endpoint::Layout, layout(req)),
         ("POST", "/v1/simulate") => (Endpoint::Simulate, simulate(state, req)),
         ("POST", "/v1/analyze") => (Endpoint::Analyze, analyze(req)),
-        ("GET", "/metrics") => (
-            Endpoint::Metrics,
-            Response::json(200, &state.metrics.to_json(&state.session.metrics())),
-        ),
+        ("GET", "/metrics") => {
+            let mut doc = state.metrics.to_json(&state.session.metrics());
+            if let Json::Obj(fields) = &mut doc {
+                fields.push(("response_cache".to_string(), state.rcache.to_json()));
+            }
+            (Endpoint::Metrics, Response::json(200, &doc))
+        }
         ("GET", "/healthz") => (
             Endpoint::Other,
             Response::json(200, &Json::Obj(vec![("ok".to_string(), Json::Bool(true))])),
@@ -839,5 +854,8 @@ mod tests {
         let doc = body_json(&resp);
         assert_eq!(doc.get("requests_total").and_then(Json::as_u64), Some(1));
         assert!(doc.get("sim").unwrap().get("memo_hit_rate").is_some());
+        let rc = doc.get("response_cache").unwrap();
+        assert!(rc.get("hits").and_then(Json::as_u64).is_some());
+        assert!(rc.get("budget_bytes").and_then(Json::as_u64).is_some());
     }
 }

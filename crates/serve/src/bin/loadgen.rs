@@ -5,17 +5,26 @@
 //! - `loadgen --smoke --addr HOST:PORT` drives one request per endpoint
 //!   and exits nonzero unless every response is healthy (used by CI).
 //! - `loadgen --addr HOST:PORT [--connections N] [--requests N] [--out
-//!   PATH]` replays three phases over `N` parallel connections and
-//!   writes throughput + p50/p90/p99 latency to `BENCH_serve.json`:
+//!   PATH] [--sweep LIST] [--min-warm-rps N]` replays four phases over
+//!   `N` parallel keep-alive connections (one pool, reused across every
+//!   phase) and writes throughput + p50/p90/p99 latency to
+//!   `BENCH_serve.json`:
 //!
 //!   1. **cold** — every simulate request carries a fresh seed, so each
 //!      one streams a new trace through the session;
-//!   2. **warm** — every request is identical, so the session serves
-//!      memoized statistics without re-streaming;
-//!   3. **mixed** — lint, layout, simulate, and metrics interleaved.
+//!   2. **warm** — every request is identical, so the serving layer
+//!      answers from its memos without re-streaming;
+//!   3. **warm_pipelined** — the same identical request, sent in
+//!      pipelined batches so the reactor frames and answers many
+//!      requests per readable event;
+//!   4. **mixed** — lint, layout, simulate, and metrics interleaved.
 //!
-//!   The warm/cold throughput ratio is the memoization payoff the
-//!   service exists to provide.
+//!   `--sweep 4,16,64,...` additionally reruns the warm pipelined phase
+//!   at each listed connection count, producing a closed-loop
+//!   latency-under-load curve (the `sweep` section of the output).
+//!   `--min-warm-rps N` turns the run into a regression gate: exit
+//!   nonzero unless the warm pipelined phase is *strictly* faster than
+//!   `N` req/s (CI passes the recorded thread-per-connection baseline).
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
@@ -25,10 +34,14 @@ use std::time::Instant;
 use impact_serve::client::Client;
 use impact_support::json::{parse as parse_json, Json, ToJson};
 
+/// Requests sent back-to-back per pipelined batch.
+const PIPELINE_DEPTH: usize = 16;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--smoke] [--connections N] \
-         [--requests N] [--out PATH] [--seed N]"
+         [--requests N] [--out PATH] [--seed N] [--sweep N,N,...] \
+         [--min-warm-rps N]"
     );
     ExitCode::FAILURE
 }
@@ -40,6 +53,10 @@ struct Options {
     requests: usize,
     out: String,
     seed: u64,
+    /// Connection counts for the warm pipelined sweep (empty: no sweep).
+    sweep: Vec<usize>,
+    /// Gate: fail unless warm pipelined req/s strictly exceeds this.
+    min_warm_rps: Option<f64>,
 }
 
 fn parse_args() -> Result<Options, ExitCode> {
@@ -49,6 +66,8 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut requests = 200usize;
     let mut out = "BENCH_serve.json".to_string();
     let mut seed = 1_000_003u64;
+    let mut sweep = Vec::new();
+    let mut min_warm_rps = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -77,6 +96,24 @@ fn parse_args() -> Result<Options, ExitCode> {
             }
             "--out" => out = args.next().ok_or_else(usage)?,
             "--seed" => seed = args.next().and_then(|n| n.parse().ok()).ok_or_else(usage)?,
+            "--sweep" => {
+                let raw = args.next().ok_or_else(usage)?;
+                sweep = raw
+                    .split(',')
+                    .map(|n| n.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .ok()
+                    .filter(|v| !v.is_empty() && v.iter().all(|&n| n >= 1))
+                    .ok_or_else(usage)?;
+            }
+            "--min-warm-rps" => {
+                min_warm_rps = Some(
+                    args.next()
+                        .and_then(|n| n.parse::<f64>().ok())
+                        .filter(|&n| n >= 0.0)
+                        .ok_or_else(usage)?,
+                );
+            }
             _ => return Err(usage()),
         }
     }
@@ -90,6 +127,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         requests,
         out,
         seed,
+        sweep,
+        min_warm_rps,
     })
 }
 
@@ -202,23 +241,38 @@ impl Phase {
     }
 }
 
-/// Runs `total` requests across `connections` threads; `body(i)` builds
-/// the i-th request body (None means `GET /metrics`).
+/// Grows the persistent client pool to at least `n` connections.
+fn ensure_pool(clients: &mut Vec<Client>, addr: SocketAddr, n: usize) -> Result<(), String> {
+    while clients.len() < n {
+        clients
+            .push(Client::connect(addr).map_err(|e| {
+                format!("connect ({} of {n} connections open): {e}", clients.len())
+            })?);
+    }
+    Ok(())
+}
+
+/// Runs `total` requests across the first `connections` clients of the
+/// pool (one thread per client); `body(i)` builds the i-th request
+/// (None means a `GET`). Clients stay connected for the next phase.
 fn run_phase(
+    clients: &mut [Client],
     addr: SocketAddr,
-    connections: usize,
     total: usize,
     body: impl Fn(usize) -> (String, Option<String>) + Send + Sync,
 ) -> Result<Phase, String> {
+    let connections = clients.len();
     let started = Instant::now();
     let latencies = thread::scope(|scope| {
         let body = &body;
-        let handles: Vec<_> = (0..connections)
-            .map(|c| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .enumerate()
+            .map(|(c, client)| {
                 scope.spawn(move || -> Result<Vec<u64>, String> {
-                    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
                     let mut lat = Vec::new();
                     let mut i = c;
+                    let mut failures = 0u32;
                     while i < total {
                         let (path, payload) = body(i);
                         let t = Instant::now();
@@ -228,6 +282,7 @@ fn run_phase(
                         };
                         match resp {
                             Ok(r) if r.status == 200 => {
+                                failures = 0;
                                 lat.push(
                                     u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX),
                                 );
@@ -236,7 +291,7 @@ fn run_phase(
                                 // Shed: honor Retry-After and reconnect
                                 // (the server closes shed connections).
                                 thread::sleep(std::time::Duration::from_millis(50));
-                                client =
+                                *client =
                                     Client::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
                                 continue;
                             }
@@ -247,9 +302,102 @@ fn run_phase(
                                     String::from_utf8_lossy(&r.body)
                                 ))
                             }
-                            Err(e) => return Err(format!("{path}: {e}")),
+                            Err(e) => {
+                                // An idle pool connection may have been
+                                // deadline-evicted between phases;
+                                // reconnect and retry a bounded number
+                                // of times.
+                                failures += 1;
+                                if failures > 3 {
+                                    return Err(format!("{path}: {e}"));
+                                }
+                                *client =
+                                    Client::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+                                continue;
+                            }
                         }
                         i += connections;
+                    }
+                    Ok(lat)
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(Ok(lat)) => all.extend(lat),
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err("phase worker panicked".to_string()),
+            }
+        }
+        Ok(all)
+    })?;
+    Ok(Phase {
+        latencies_us: latencies,
+        wall_secs: started.elapsed().as_secs_f64(),
+    })
+}
+
+/// Runs `total` identical requests in pipelined batches of
+/// [`PIPELINE_DEPTH`] across the pool. Each batch is one write carrying
+/// the whole burst; per-request latency is measured from the batch send
+/// to that response's arrival, so queueing behind earlier pipelined
+/// responses is charged honestly.
+fn run_phase_pipelined(
+    clients: &mut [Client],
+    addr: SocketAddr,
+    total: usize,
+    path: &str,
+    body: &str,
+) -> Result<Phase, String> {
+    let connections = clients.len();
+    let per_client = total.div_ceil(connections);
+    let started = Instant::now();
+    let latencies = thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .map(|client| {
+                scope.spawn(move || -> Result<Vec<u64>, String> {
+                    let mut lat = Vec::with_capacity(per_client);
+                    let mut failures = 0u32;
+                    while lat.len() < per_client {
+                        let batch = PIPELINE_DEPTH.min(per_client - lat.len());
+                        let t = Instant::now();
+                        let outcome =
+                            client
+                                .send_batch("POST", path, Some(body), batch)
+                                .and_then(|()| {
+                                    let mut batch_lat = Vec::with_capacity(batch);
+                                    for _ in 0..batch {
+                                        let resp = client.read_response()?;
+                                        if resp.status != 200 {
+                                            return Err(std::io::Error::other(format!(
+                                                "status {}",
+                                                resp.status
+                                            )));
+                                        }
+                                        batch_lat.push(
+                                            u64::try_from(t.elapsed().as_micros())
+                                                .unwrap_or(u64::MAX),
+                                        );
+                                    }
+                                    Ok(batch_lat)
+                                });
+                        match outcome {
+                            Ok(batch_lat) => {
+                                failures = 0;
+                                lat.extend(batch_lat);
+                            }
+                            Err(e) => {
+                                failures += 1;
+                                if failures > 3 {
+                                    return Err(format!("{path} (pipelined): {e}"));
+                                }
+                                thread::sleep(std::time::Duration::from_millis(50));
+                                *client =
+                                    Client::connect(addr).map_err(|e| format!("reconnect: {e}"))?;
+                            }
+                        }
                     }
                     Ok(lat)
                 })
@@ -278,15 +426,28 @@ fn bench(opts: &Options) -> ExitCode {
         opts.requests, opts.connections, opts.addr
     );
 
+    // One pool of keep-alive connections, reused across every phase
+    // (and grown, never reopened, for the sweep).
+    let mut clients: Vec<Client> = Vec::new();
+    if let Err(e) = ensure_pool(&mut clients, opts.addr, opts.connections) {
+        eprintln!("loadgen: {e}");
+        return ExitCode::FAILURE;
+    }
+
     // Phase 1 — cold: a fresh seed per request forces a new trace each
     // time; this is the price of evaluation without memoization.
     let seed = opts.seed;
-    let cold = match run_phase(opts.addr, opts.connections, opts.requests, |i| {
-        (
-            "/v1/simulate".to_string(),
-            Some(simulate_body(&program, seed + 1 + i as u64)),
-        )
-    }) {
+    let cold = match run_phase(
+        &mut clients[..opts.connections],
+        opts.addr,
+        opts.requests,
+        |i| {
+            (
+                "/v1/simulate".to_string(),
+                Some(simulate_body(&program, seed + 1 + i as u64)),
+            )
+        },
+    ) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("loadgen: cold phase failed: {e}");
@@ -294,19 +455,20 @@ fn bench(opts: &Options) -> ExitCode {
         }
     };
     println!(
-        "cold:  {:>8.1} req/s  p99 {:>8} us",
+        "cold:           {:>8.1} req/s  p99 {:>8} us",
         cold.rps(),
         cold.percentile(99.0)
     );
 
     // Phase 2 — warm: every request identical, so after the first the
-    // session serves memoized statistics without re-streaming.
-    let warm = match run_phase(opts.addr, opts.connections, opts.requests, |_| {
-        (
-            "/v1/simulate".to_string(),
-            Some(simulate_body(&program, seed)),
-        )
-    }) {
+    // serving layer answers from its memos without re-streaming.
+    let warm_json = simulate_body(&program, seed);
+    let warm = match run_phase(
+        &mut clients[..opts.connections],
+        opts.addr,
+        opts.requests,
+        |_| ("/v1/simulate".to_string(), Some(warm_json.clone())),
+    ) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("loadgen: warm phase failed: {e}");
@@ -314,23 +476,45 @@ fn bench(opts: &Options) -> ExitCode {
         }
     };
     println!(
-        "warm:  {:>8.1} req/s  p99 {:>8} us",
+        "warm:           {:>8.1} req/s  p99 {:>8} us",
         warm.rps(),
         warm.percentile(99.0)
     );
 
-    // Phase 3 — mixed: the workload shape a real client produces.
-    let mixed = match run_phase(opts.addr, opts.connections, opts.requests, |i| {
-        match i % 8 {
+    // Phase 3 — warm pipelined: the same identical request in batches
+    // of PIPELINE_DEPTH, so the reactor parses and answers many
+    // requests per readable event.
+    let warm_pipelined = match run_phase_pipelined(
+        &mut clients[..opts.connections],
+        opts.addr,
+        opts.requests.max(opts.connections * PIPELINE_DEPTH),
+        "/v1/simulate",
+        &warm_json,
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("loadgen: warm pipelined phase failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "warm_pipelined: {:>8.1} req/s  p99 {:>8} us",
+        warm_pipelined.rps(),
+        warm_pipelined.percentile(99.0)
+    );
+
+    // Phase 4 — mixed: the workload shape a real client produces.
+    let mixed = match run_phase(
+        &mut clients[..opts.connections],
+        opts.addr,
+        opts.requests,
+        |i| match i % 8 {
             0 => ("/v1/lint".to_string(), Some(lint_body(&program))),
             1 => ("/v1/layout".to_string(), Some(layout_body(&program))),
             7 => ("/metrics".to_string(), None),
-            _ => (
-                "/v1/simulate".to_string(),
-                Some(simulate_body(&program, seed)),
-            ),
-        }
-    }) {
+            _ => ("/v1/simulate".to_string(), Some(warm_json.clone())),
+        },
+    ) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("loadgen: mixed phase failed: {e}");
@@ -338,10 +522,51 @@ fn bench(opts: &Options) -> ExitCode {
         }
     };
     println!(
-        "mixed: {:>8.1} req/s  p99 {:>8} us",
+        "mixed:          {:>8.1} req/s  p99 {:>8} us",
         mixed.rps(),
         mixed.percentile(99.0)
     );
+
+    // Sweep — closed-loop latency under load: the warm pipelined phase
+    // again at each requested connection count, over the same pool.
+    let mut sweep_entries: Vec<Json> = Vec::new();
+    for &n in &opts.sweep {
+        if let Err(e) = ensure_pool(&mut clients, opts.addr, n) {
+            eprintln!("loadgen: sweep at {n} connections: {e}");
+            return ExitCode::FAILURE;
+        }
+        let total = opts.requests.max(n * PIPELINE_DEPTH);
+        let phase = match run_phase_pipelined(
+            &mut clients[..n],
+            opts.addr,
+            total,
+            "/v1/simulate",
+            &warm_json,
+        ) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("loadgen: sweep at {n} connections failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "sweep {n:>5} conns: {:>8.1} req/s  p50 {:>7} us  p99 {:>8} us",
+            phase.rps(),
+            phase.percentile(50.0),
+            phase.percentile(99.0)
+        );
+        let mut entry = vec![
+            ("connections".to_string(), (n as u64).to_json()),
+            (
+                "pipeline_depth".to_string(),
+                (PIPELINE_DEPTH as u64).to_json(),
+            ),
+        ];
+        if let Json::Obj(fields) = phase.to_json() {
+            entry.extend(fields);
+        }
+        sweep_entries.push(Json::Obj(entry));
+    }
 
     let metrics_after = Client::connect(opts.addr)
         .and_then(|mut c| c.get("/metrics"))
@@ -361,6 +586,7 @@ fn bench(opts: &Options) -> ExitCode {
     };
     println!("warm/cold speedup: {speedup:.1}x");
 
+    let gate_rps = warm_pipelined.rps();
     let doc = Json::Obj(vec![
         ("bench".to_string(), "impact-serve loadgen".to_json()),
         ("addr".to_string(), opts.addr.to_string().to_json()),
@@ -372,10 +598,16 @@ fn bench(opts: &Options) -> ExitCode {
             "requests_per_phase".to_string(),
             (opts.requests as u64).to_json(),
         ),
+        (
+            "pipeline_depth".to_string(),
+            (PIPELINE_DEPTH as u64).to_json(),
+        ),
         ("cold".to_string(), cold.to_json()),
         ("warm".to_string(), warm.to_json()),
+        ("warm_pipelined".to_string(), warm_pipelined.to_json()),
         ("mixed".to_string(), mixed.to_json()),
         ("warm_over_cold_speedup".to_string(), speedup.to_json()),
+        ("sweep".to_string(), Json::Arr(sweep_entries)),
         ("server_metrics".to_string(), metrics_after),
     ]);
     if let Err(e) = std::fs::write(&opts.out, doc.to_string_pretty() + "\n") {
@@ -383,6 +615,17 @@ fn bench(opts: &Options) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {}", opts.out);
+
+    if let Some(min) = opts.min_warm_rps {
+        if gate_rps <= min {
+            eprintln!(
+                "loadgen: REGRESSION: warm pipelined {gate_rps:.1} req/s is not \
+                 strictly faster than the {min:.1} req/s baseline"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("gate: warm pipelined {gate_rps:.1} req/s > baseline {min:.1} req/s");
+    }
     ExitCode::SUCCESS
 }
 

@@ -37,11 +37,22 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects with 10-second I/O timeouts.
+    /// Connects with the default 10-second I/O timeouts.
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        Self::connect_with_timeouts(addr, Duration::from_secs(10), Duration::from_secs(10))
+    }
+
+    /// Connects with explicit read/write timeouts (a zero duration
+    /// disables that timeout).
+    pub fn connect_with_timeouts(
+        addr: SocketAddr,
+        read_timeout: Duration,
+        write_timeout: Duration,
+    ) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        let optional = |d: Duration| (!d.is_zero()).then_some(d);
+        stream.set_read_timeout(optional(read_timeout))?;
+        stream.set_write_timeout(optional(write_timeout))?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Self {
@@ -79,7 +90,29 @@ impl Client {
         self.request("POST", path, Some(json))
     }
 
-    fn read_response(&mut self) -> io::Result<ClientResponse> {
+    /// Writes `count` copies of one request back-to-back in a single
+    /// frame (HTTP/1.1 pipelining), without reading any response. Pair
+    /// with `count` calls to [`Client::read_response`].
+    pub fn send_batch(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        count: usize,
+    ) -> io::Result<()> {
+        let body = body.unwrap_or("");
+        let one = format!(
+            "{method} {path} HTTP/1.1\r\nHost: impact-serve\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len(),
+        );
+        let frame = one.repeat(count);
+        self.writer.write_all(frame.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Reads one response off the connection (the receive half of
+    /// [`Client::send_batch`]; `request` uses it internally).
+    pub fn read_response(&mut self) -> io::Result<ClientResponse> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
             return Err(io::Error::new(

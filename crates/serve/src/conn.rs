@@ -1,0 +1,308 @@
+//! Per-connection state for the reactor: incremental request framing in,
+//! ordered buffered responses out.
+//!
+//! A connection is a passive state machine — the reactor feeds it bytes
+//! when `poll(2)` reports its socket readable, hands parsed requests to
+//! the dispatcher, and flushes its write buffer when the socket is
+//! writable. The machine itself never blocks and never touches a
+//! worker thread:
+//!
+//! - **Framing.** Incoming bytes accumulate in `buf`;
+//!   [`parse_request_bytes`](crate::http::parse_request_bytes) is run
+//!   repeatedly so one readable event can yield *many* pipelined
+//!   requests (and a request split byte-by-byte across reads parses
+//!   exactly when its last byte lands).
+//! - **Ordering.** Each parsed request gets a per-connection sequence
+//!   number. Responses complete in any order (workers race; memo hits
+//!   complete instantly) but are released into the write buffer strictly
+//!   in sequence, which is what HTTP/1.1 pipelining requires.
+//! - **Deadlines.** The reactor evicts connections that sit idle past
+//!   the read deadline (slowloris: a header drip-fed forever holds one
+//!   buffer, not a worker thread) or that stop draining their responses
+//!   past the write deadline.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::http::Response;
+
+/// How much to read per `read(2)` call while draining a readable socket.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// What the state machine wants from `poll(2)` this turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Wants {
+    /// Watch for readability (more request bytes are welcome).
+    pub read: bool,
+    /// Watch for writability (buffered response bytes are pending).
+    pub write: bool,
+}
+
+/// Result of draining a readable socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReadOutcome {
+    /// Some bytes may have arrived; the connection stays open.
+    Open,
+    /// The peer closed its half cleanly (EOF).
+    Eof,
+    /// The transport failed; the connection is unusable.
+    Broken,
+}
+
+/// One connection owned by the reactor.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    /// Received-but-unparsed request bytes.
+    pub buf: Vec<u8>,
+    /// Serialized responses waiting for the socket to accept them.
+    out: Vec<u8>,
+    /// How much of `out` has been written so far.
+    out_pos: usize,
+    /// Sequence number the next parsed request will get.
+    pub next_seq: u64,
+    /// Sequence number whose response is released next.
+    next_write: u64,
+    /// Completed responses that arrived ahead of their turn.
+    ready: BTreeMap<u64, DoneResponse>,
+    /// Requests dispatched to the worker pool, not yet completed.
+    pub inflight: usize,
+    /// No further request bytes will be parsed (close requested,
+    /// framing error, peer EOF, or shutdown).
+    pub no_more_input: bool,
+    /// Close the socket once `out` drains.
+    pub close_after_flush: bool,
+    /// Instant of the last byte read (read-deadline base).
+    pub last_read: Instant,
+    /// Set while `out` is nonempty: instant of the last write progress.
+    write_stalled_since: Option<Instant>,
+}
+
+/// A completed response ready to serialize in sequence order.
+#[derive(Debug)]
+pub(crate) struct DoneResponse {
+    /// The full serialized frame (status line through body).
+    pub frame: Vec<u8>,
+    /// Close the connection after this frame flushes.
+    pub close: bool,
+}
+
+impl DoneResponse {
+    /// Serializes `response` into a frame with the right `Connection:`
+    /// header. Writing into a `Vec` cannot fail.
+    pub fn serialize(response: &Response, keep_alive: bool) -> Self {
+        let mut frame = Vec::with_capacity(response.body.len() + 256);
+        response
+            .write(&mut frame, keep_alive)
+            .expect("serializing into a Vec cannot fail");
+        Self {
+            frame,
+            close: !keep_alive,
+        }
+    }
+}
+
+impl Conn {
+    /// Wraps an accepted, already-nonblocking socket.
+    pub fn new(stream: TcpStream, now: Instant) -> Self {
+        Self {
+            stream,
+            buf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            next_seq: 0,
+            next_write: 0,
+            ready: BTreeMap::new(),
+            inflight: 0,
+            no_more_input: false,
+            close_after_flush: false,
+            last_read: now,
+            write_stalled_since: None,
+        }
+    }
+
+    /// The poll interests for the current state.
+    pub fn wants(&self) -> Wants {
+        Wants {
+            read: !self.no_more_input,
+            write: self.has_pending_writes(),
+        }
+    }
+
+    /// True while serialized response bytes are waiting on the socket.
+    pub fn has_pending_writes(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Drains the readable socket into `buf` until `WouldBlock`.
+    pub fn fill_from_socket(&mut self, now: Instant) -> ReadOutcome {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Eof,
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    self.last_read = now;
+                    // Keep draining: level-triggered poll would re-report
+                    // it, but finishing now saves a syscall round.
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return ReadOutcome::Open,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Broken,
+            }
+        }
+    }
+
+    /// Records a completed response for `seq`, then releases every
+    /// response that is now next in line into the write buffer.
+    pub fn complete(&mut self, seq: u64, done: DoneResponse) {
+        self.ready.insert(seq, done);
+        while let Some(done) = self.ready.remove(&self.next_write) {
+            self.next_write += 1;
+            if self.close_after_flush {
+                // A close-marked response already sealed the stream;
+                // later pipelined responses have nowhere to go.
+                continue;
+            }
+            self.out.extend_from_slice(&done.frame);
+            if done.close {
+                self.close_after_flush = true;
+                self.no_more_input = true;
+            }
+        }
+    }
+
+    /// Writes as much buffered response data as the socket accepts.
+    /// Returns `false` when the transport failed.
+    pub fn flush(&mut self, now: Instant) -> bool {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.write_stalled_since = Some(now);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if self.write_stalled_since.is_none() {
+                        self.write_stalled_since = Some(now);
+                    }
+                    return true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        // Fully drained: reclaim the buffer and clear the write clock.
+        self.out.clear();
+        self.out_pos = 0;
+        self.write_stalled_since = None;
+        true
+    }
+
+    /// True once every accepted request has been answered and flushed
+    /// and no further input will arrive — the clean-close condition.
+    pub fn finished(&self) -> bool {
+        self.no_more_input
+            && self.inflight == 0
+            && self.ready.is_empty()
+            && !self.has_pending_writes()
+    }
+
+    /// Whether the connection blew a deadline at `now`: the read
+    /// deadline applies while we are waiting on the *client* (nothing
+    /// in flight, nothing to write), the write deadline while the
+    /// client refuses to drain responses. A connection waiting on a
+    /// long-running handler is charged to neither.
+    pub fn deadline_expired(&self, now: Instant, read: Duration, write: Duration) -> bool {
+        if self.has_pending_writes() {
+            return self
+                .write_stalled_since
+                .is_some_and(|since| now.duration_since(since) > write);
+        }
+        if self.inflight == 0 && !self.no_more_input {
+            return now.duration_since(self.last_read) > read;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    fn frame(tag: &[u8], close: bool) -> DoneResponse {
+        DoneResponse {
+            frame: tag.to_vec(),
+            close,
+        }
+    }
+
+    #[test]
+    fn responses_are_released_in_sequence_order() {
+        let (_peer, sock) = pair();
+        let mut conn = Conn::new(sock, Instant::now());
+        conn.next_seq = 3; // three requests parsed
+        conn.complete(2, frame(b"C", false));
+        assert!(!conn.has_pending_writes(), "seq 0 not done yet");
+        conn.complete(0, frame(b"A", false));
+        assert_eq!(&conn.out, b"A", "seq 1 still missing");
+        conn.complete(1, frame(b"B", false));
+        assert_eq!(&conn.out, b"ABC");
+    }
+
+    #[test]
+    fn close_marked_response_seals_the_stream() {
+        let (_peer, sock) = pair();
+        let mut conn = Conn::new(sock, Instant::now());
+        conn.next_seq = 3;
+        conn.complete(0, frame(b"A", true));
+        conn.complete(1, frame(b"B", false));
+        conn.complete(2, frame(b"C", false));
+        assert_eq!(&conn.out, b"A", "responses after a close are dropped");
+        assert!(conn.close_after_flush);
+        assert!(conn.no_more_input);
+    }
+
+    #[test]
+    fn deadlines_only_charge_the_waiting_party() {
+        let (_peer, sock) = pair();
+        let mut conn = Conn::new(sock, Instant::now() - Duration::from_secs(60));
+        conn.last_read = Instant::now() - Duration::from_secs(60);
+        let (read, write) = (Duration::from_secs(1), Duration::from_secs(1));
+        // Idle and owing us bytes: read deadline applies.
+        assert!(conn.deadline_expired(Instant::now(), read, write));
+        // Waiting on a worker: neither deadline applies.
+        conn.inflight = 1;
+        assert!(!conn.deadline_expired(Instant::now(), read, write));
+        conn.inflight = 0;
+        // Waiting on the peer to drain writes: write deadline applies,
+        // measured from the last write progress.
+        conn.out = b"pending".to_vec();
+        conn.write_stalled_since = Some(Instant::now() - Duration::from_secs(30));
+        assert!(conn.deadline_expired(Instant::now(), read, write));
+        conn.write_stalled_since = Some(Instant::now());
+        assert!(!conn.deadline_expired(Instant::now(), read, write));
+    }
+
+    #[test]
+    fn finished_requires_flushed_and_quiet() {
+        let (_peer, sock) = pair();
+        let mut conn = Conn::new(sock, Instant::now());
+        assert!(!conn.finished(), "input side still open");
+        conn.no_more_input = true;
+        assert!(conn.finished());
+        conn.inflight = 1;
+        assert!(!conn.finished());
+    }
+}

@@ -2,10 +2,17 @@
 //!
 //! Implements exactly the subset the service needs: request parsing with
 //! `Content-Length` bodies (no chunked transfer coding), keep-alive
-//! semantics, and response serialization. Everything reads from / writes
-//! to plain [`std::io`] traits, so the same code runs over a
-//! [`TcpStream`](std::net::TcpStream) in the server, in the loadgen's
-//! client, and over in-memory buffers in tests.
+//! semantics, and response serialization. Two parsing surfaces share the
+//! same grammar helpers:
+//!
+//! - [`read_request`] pulls one request off a blocking [`BufRead`] — the
+//!   shape tests and simple clients want;
+//! - [`parse_request_bytes`] is the reactor's incremental form: given
+//!   whatever bytes have arrived so far, it either yields one complete
+//!   request plus the number of bytes it consumed, reports that more
+//!   bytes are needed, or rejects the prefix. Calling it repeatedly on a
+//!   growing buffer parses pipelined requests one at a time without ever
+//!   blocking, regardless of how the bytes were split across reads.
 
 use std::io::{self, BufRead, Write};
 
@@ -89,6 +96,56 @@ impl std::fmt::Display for HttpError {
     }
 }
 
+/// Parses `METHOD TARGET VERSION`; returns `(method, target, http11)`.
+fn parse_request_line(line: &str) -> Result<(String, String, bool), HttpError> {
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::Malformed(format!("bad request line: {line:?}"))),
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v => {
+            return Err(HttpError::Malformed(format!(
+                "unsupported protocol version {v:?}"
+            )))
+        }
+    };
+    Ok((method.to_string(), target.to_string(), http11))
+}
+
+/// Parses `Name: value` into a lowercased-name pair.
+fn parse_header_line(line: &str) -> Result<(String, String), HttpError> {
+    let Some((name, value)) = line.split_once(':') else {
+        return Err(HttpError::Malformed(format!("bad header line: {line:?}")));
+    };
+    Ok((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+}
+
+/// Validates transfer framing and returns the declared body length.
+fn body_length(req: &Request) -> Result<usize, HttpError> {
+    if req
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::Malformed(
+            "transfer-encoding is not supported; send Content-Length".to_string(),
+        ));
+    }
+    let body_len = match req.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length: {v:?}")))?,
+    };
+    if body_len > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("request body"));
+    }
+    Ok(body_len)
+}
+
 /// One line ending in `\n` (CRLF tolerated), or `None` on clean EOF.
 fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>, HttpError> {
     let mut buf = Vec::new();
@@ -123,20 +180,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
     let Some(line) = read_line(reader, &mut budget)? else {
         return Ok(None);
     };
-    let mut parts = line.split(' ');
-    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
-        _ => return Err(HttpError::Malformed(format!("bad request line: {line:?}"))),
-    };
-    let http11 = match version {
-        "HTTP/1.1" => true,
-        "HTTP/1.0" => false,
-        v => {
-            return Err(HttpError::Malformed(format!(
-                "unsupported protocol version {v:?}"
-            )))
-        }
-    };
+    let (method, target, http11) = parse_request_line(&line)?;
 
     let mut headers = Vec::new();
     loop {
@@ -148,41 +192,92 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
         if line.is_empty() {
             break;
         }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(HttpError::Malformed(format!("bad header line: {line:?}")));
-        };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        headers.push(parse_header_line(&line)?);
     }
 
-    let req = Request {
-        method: method.to_string(),
-        target: target.to_string(),
+    let mut req = Request {
+        method,
+        target,
         http11,
         headers,
         body: Vec::new(),
     };
-    if req
-        .header("transfer-encoding")
-        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
-    {
-        return Err(HttpError::Malformed(
-            "transfer-encoding is not supported; send Content-Length".to_string(),
-        ));
-    }
-    let body_len = match req.header("content-length") {
-        None => 0,
-        Some(v) => v
-            .trim()
-            .parse::<usize>()
-            .map_err(|_| HttpError::Malformed(format!("bad Content-Length: {v:?}")))?,
-    };
-    if body_len > MAX_BODY_BYTES {
-        return Err(HttpError::TooLarge("request body"));
-    }
-    let mut req = req;
+    let body_len = body_length(&req)?;
     req.body = vec![0; body_len];
     reader.read_exact(&mut req.body)?;
     Ok(Some(req))
+}
+
+/// Byte offset just past the blank line terminating the request head,
+/// if the head is complete within `buf`.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match buf.get(i + 1) {
+                Some(b'\n') => return Some(i + 2),
+                Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Attempts to parse one complete request from the front of `buf`.
+///
+/// Returns `Ok(Some((request, consumed)))` when `buf` starts with a
+/// whole request (`consumed` bytes of it — the caller drains those and
+/// may call again for the next pipelined request), and `Ok(None)` when
+/// the bytes so far are a valid prefix that needs more input.
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] when the prefix can never become a valid
+/// request, [`HttpError::TooLarge`] when the head exceeds
+/// [`MAX_HEAD_BYTES`] (respond `431`) or the declared body exceeds
+/// [`MAX_BODY_BYTES`] (respond `413`). Never returns [`HttpError::Io`].
+pub fn parse_request_bytes(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+    let Some(head_len) = head_end(buf) else {
+        // An unterminated head can only be tolerated while it still
+        // fits the budget; past that it is a slowloris or junk.
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("request head"));
+        }
+        return Ok(None);
+    };
+    if head_len > MAX_HEAD_BYTES {
+        return Err(HttpError::TooLarge("request head"));
+    }
+    let head = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| HttpError::Malformed("request head is not valid UTF-8".to_string()))?;
+
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    let (method, target, http11) = parse_request_line(request_line)?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        headers.push(parse_header_line(line)?);
+    }
+
+    let mut req = Request {
+        method,
+        target,
+        http11,
+        headers,
+        body: Vec::new(),
+    };
+    let body_len = body_length(&req)?;
+    let total = head_len + body_len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    req.body = buf[head_len..total].to_vec();
+    Ok(Some((req, total)))
 }
 
 /// Standard reason phrase for the statuses the service emits.

@@ -1,11 +1,22 @@
-//! `impact-serve` — a concurrent placement-and-simulation HTTP service
-//! over the IMPACT-I evaluation engine.
+//! `impact-serve` — an event-driven placement-and-simulation HTTP
+//! service over the IMPACT-I evaluation engine.
 //!
 //! The service turns the repo's batch tooling into a long-lived daemon:
-//! a dependency-free HTTP/1.1 server (plain `std::net`) with a fixed
-//! worker pool, a bounded accept queue that sheds overload with `503 ` +
-//! `Retry-After`, per-request timeouts, and graceful shutdown on
-//! SIGTERM or stdin EOF. Its endpoints mirror the CLI surfaces:
+//! a dependency-free HTTP/1.1 server (plain `std::net` plus one
+//! `poll(2)` wrapper) built as a readiness-polling reactor. One thread
+//! multiplexes every connection over [`poll`]: nonblocking sockets feed
+//! per-connection state machines ([`conn`]) that frame requests
+//! incrementally — so HTTP/1.1 pipelining works — and buffer response
+//! writes. Parsed requests go to a fixed worker pool through a bounded
+//! dispatch queue that sheds overload with `503` + `Retry-After`; a
+//! connection occupies a worker only while a request is actually being
+//! routed or simulated, so 10k idle keep-alive connections cost 10k
+//! pollfd entries, not 10k threads. The reactor enforces read/write
+//! deadlines (slowloris eviction) and graceful shutdown on SIGTERM or
+//! stdin EOF. Repeated POST bodies are answered from a byte-exact
+//! response memo ([`rcache`]) without touching the worker pool at all.
+//!
+//! Its endpoints mirror the CLI surfaces:
 //!
 //! - `POST /v1/lint` — the `impact-analyze` registry over a submitted
 //!   program (same JSON document as `impact lint --json`, rendered by
@@ -16,20 +27,26 @@
 //!   fingerprint-keyed
 //!   [`SimSession`](impact_experiments::session::SimSession), so a
 //!   placement evaluated twice is memo-served rather than re-streamed.
-//! - `GET /metrics` — request counters, a latency histogram, queue
-//!   depth, and the session's memo hit rate.
+//! - `GET /metrics` — request counters, global and per-endpoint latency
+//!   histograms, queue depth, connection gauges, response-memo and
+//!   session memo hit rates.
 //!
 //! The [`client`] module is a matching minimal HTTP client used by the
 //! integration tests, the CI smoke check, and the `loadgen` benchmark
-//! binary (which writes `BENCH_serve.json`).
+//! binary (which writes `BENCH_serve.json`, including the
+//! connection-count sweep).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
 pub mod client;
+pub(crate) mod conn;
 pub mod http;
 pub mod metrics;
+pub mod poll;
+pub mod rcache;
+pub(crate) mod reactor;
 pub mod server;
 pub mod signal;
 
@@ -37,4 +54,5 @@ pub use api::{simulate_response_json, AppState};
 pub use client::{Client, ClientResponse};
 pub use http::{Request, Response};
 pub use metrics::{Endpoint, Metrics, LATENCY_BUCKETS_US};
+pub use rcache::ResponseCache;
 pub use server::{ServeConfig, Server};

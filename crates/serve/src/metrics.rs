@@ -84,8 +84,15 @@ pub struct Metrics {
     latency: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
     latency_sum_us: AtomicU64,
     latency_count: AtomicU64,
+    /// Per-endpoint latency histograms (same bucket bounds).
+    endpoint_latency: [[AtomicU64; LATENCY_BUCKETS_US.len() + 1]; 6],
+    endpoint_latency_sum_us: [AtomicU64; 6],
     queue_depth: AtomicU64,
     queue_peak: AtomicU64,
+    /// Connections currently open in the reactor (gauge).
+    connections_open: AtomicU64,
+    /// High-water mark of `connections_open`.
+    connections_peak: AtomicU64,
 }
 
 impl Metrics {
@@ -112,16 +119,35 @@ impl Metrics {
         self.latency[bucket].fetch_add(1, Relaxed);
         self.latency_sum_us.fetch_add(micros, Relaxed);
         self.latency_count.fetch_add(1, Relaxed);
+        self.endpoint_latency[endpoint.index()][bucket].fetch_add(1, Relaxed);
+        self.endpoint_latency_sum_us[endpoint.index()].fetch_add(micros, Relaxed);
     }
 
-    /// Records a load-shedding 503 written from the accept loop.
+    /// Records a load-shedding 503 written from the reactor.
     pub fn record_shed(&self) {
         self.shed.fetch_add(1, Relaxed);
     }
 
-    /// Records a connection handed to the worker pool.
+    /// Records an accepted connection (cumulative).
     pub fn record_connection(&self) {
         self.connections.fetch_add(1, Relaxed);
+    }
+
+    /// Raises the open-connections gauge (and its high-water mark).
+    pub fn connection_opened(&self) {
+        let now = self.connections_open.fetch_add(1, Relaxed) + 1;
+        self.connections_peak.fetch_max(now, Relaxed);
+    }
+
+    /// Lowers the open-connections gauge.
+    pub fn connection_closed(&self) {
+        self.connections_open.fetch_sub(1, Relaxed);
+    }
+
+    /// High-water mark of concurrently open connections.
+    #[must_use]
+    pub fn connections_peak(&self) -> u64 {
+        self.connections_peak.load(Relaxed)
     }
 
     /// Records a connection whose bytes never parsed as a request.
@@ -167,22 +193,36 @@ impl Metrics {
                 })
                 .collect(),
         );
-        let mut buckets: Vec<Json> = Vec::new();
-        for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
-            buckets.push(Json::Obj(vec![
-                ("le_us".to_string(), bound.to_json()),
-                ("count".to_string(), self.latency[i].load(Relaxed).to_json()),
-            ]));
-        }
-        buckets.push(Json::Obj(vec![
-            ("le_us".to_string(), Json::Null),
-            (
-                "count".to_string(),
-                self.latency[LATENCY_BUCKETS_US.len()]
-                    .load(Relaxed)
-                    .to_json(),
-            ),
-        ]));
+        let buckets = render_buckets(&self.latency);
+        let by_endpoint_latency = Json::Obj(
+            Endpoint::ALL
+                .iter()
+                .map(|e| {
+                    let count = self.requests[e.index()].load(Relaxed);
+                    let sum = self.endpoint_latency_sum_us[e.index()].load(Relaxed);
+                    (
+                        e.label().to_string(),
+                        Json::Obj(vec![
+                            (
+                                "buckets".to_string(),
+                                render_buckets(&self.endpoint_latency[e.index()]),
+                            ),
+                            ("sum_us".to_string(), sum.to_json()),
+                            ("count".to_string(), count.to_json()),
+                            (
+                                "mean_us".to_string(),
+                                if count == 0 {
+                                    0.0
+                                } else {
+                                    sum as f64 / count as f64
+                                }
+                                .to_json(),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
         let count = self.latency_count.load(Relaxed);
         let sum = self.latency_sum_us.load(Relaxed);
         let memo_hit_rate = if session.configs_requested == 0 {
@@ -214,6 +254,14 @@ impl Metrics {
                 self.connections.load(Relaxed).to_json(),
             ),
             (
+                "connections_open".to_string(),
+                self.connections_open.load(Relaxed).to_json(),
+            ),
+            (
+                "connections_peak".to_string(),
+                self.connections_peak.load(Relaxed).to_json(),
+            ),
+            (
                 "read_errors".to_string(),
                 self.read_errors.load(Relaxed).to_json(),
             ),
@@ -225,7 +273,8 @@ impl Metrics {
                 "queue_peak".to_string(),
                 self.queue_peak.load(Relaxed).to_json(),
             ),
-            ("latency_us_buckets".to_string(), Json::Arr(buckets)),
+            ("latency_us_buckets".to_string(), buckets),
+            ("latency_by_endpoint".to_string(), by_endpoint_latency),
             ("latency_us_sum".to_string(), sum.to_json()),
             ("latency_count".to_string(), count.to_json()),
             (
@@ -297,6 +346,25 @@ impl Metrics {
     }
 }
 
+/// Renders one histogram (shared bounds + overflow) as a JSON array.
+fn render_buckets(counts: &[AtomicU64; LATENCY_BUCKETS_US.len() + 1]) -> Json {
+    let mut buckets: Vec<Json> = Vec::with_capacity(counts.len());
+    for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+        buckets.push(Json::Obj(vec![
+            ("le_us".to_string(), bound.to_json()),
+            ("count".to_string(), counts[i].load(Relaxed).to_json()),
+        ]));
+    }
+    buckets.push(Json::Obj(vec![
+        ("le_us".to_string(), Json::Null),
+        (
+            "count".to_string(),
+            counts[LATENCY_BUCKETS_US.len()].load(Relaxed).to_json(),
+        ),
+    ]));
+    Json::Arr(buckets)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,10 +377,14 @@ mod tests {
         m.record(Endpoint::Lint, 400, 20_000_000);
         m.record_shed();
         m.record_connection();
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
         m.set_queue_depth(5);
         m.set_queue_depth(2);
         assert_eq!(m.total_requests(), 3);
         assert_eq!(m.total_shed(), 1);
+        assert_eq!(m.connections_peak(), 2);
 
         let doc = m.to_json(&SimMetrics::default());
         assert_eq!(doc.get("requests_total").and_then(Json::as_u64), Some(3));
@@ -334,6 +406,17 @@ mod tests {
             buckets.last().unwrap().get("count").and_then(Json::as_u64),
             Some(1)
         );
+        assert_eq!(doc.get("connections_open").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("connections_peak").and_then(Json::as_u64), Some(2));
+        let sim_lat = doc
+            .get("latency_by_endpoint")
+            .unwrap()
+            .get("simulate")
+            .unwrap();
+        assert_eq!(sim_lat.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(sim_lat.get("sum_us").and_then(Json::as_u64), Some(3_080));
+        let sim_buckets = sim_lat.get("buckets").and_then(Json::as_arr).unwrap();
+        assert_eq!(sim_buckets[0].get("count").and_then(Json::as_u64), Some(1));
         // The document itself must round-trip through the parser.
         assert_eq!(
             impact_support::json::parse(&doc.to_string_pretty()).as_ref(),

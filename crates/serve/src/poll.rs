@@ -1,0 +1,177 @@
+//! Readiness polling over raw file descriptors: a thin safe wrapper
+//! around `poll(2)`.
+//!
+//! This is the second (and last) `unsafe` corner of the service, scoped
+//! exactly like [`crate::signal`]: one raw libc call behind a safe
+//! function. The wrapper owns nothing — callers keep their sockets in
+//! ordinary [`std::net`] types and copy descriptors into the entry
+//! slice for the duration of one call, so the only invariant (each fd
+//! stays open across the call) is upheld by the reactor, which builds
+//! the set from sockets it owns and consumes it within one loop turn.
+//!
+//! Everything is level-triggered: a descriptor reported readable stays
+//! readable until drained, so a reactor that processes a bounded amount
+//! per turn never loses events.
+
+use std::io;
+
+/// The descriptor is readable (or a peer closed; reading reveals which).
+pub const POLLIN: i16 = 0x001;
+/// The descriptor accepts writes without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (always reported, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (always reported, never requested).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is not open (always reported, never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry in the poll set, ABI-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch.
+    pub fd: i32,
+    /// Requested events ([`POLLIN`] / [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events (filled in by [`poll`]).
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// An entry watching `fd` for `events`.
+    #[must_use]
+    pub fn new(fd: i32, events: i16) -> Self {
+        Self {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// True if the kernel reported the descriptor readable, errored, or
+    /// hung up — all of which a reader must observe by reading.
+    #[must_use]
+    pub fn readable(self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// True if the kernel reported the descriptor writable or errored
+    /// (a failed write reveals the error).
+    #[must_use]
+    pub fn writable(self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    use super::PollFd;
+    use std::io;
+
+    extern "C" {
+        // From libc, which is always linked. `nfds_t` is `unsigned
+        // long`, i.e. pointer-width on every Unix Rust targets.
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: i32) -> i32;
+    }
+
+    pub fn poll_impl(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd-layout entries; the kernel writes only
+        // `revents` within its bounds.
+        let n = unsafe { poll(fds.as_mut_ptr(), fds.len(), timeout_ms) };
+        if n < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(n as usize)
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::PollFd;
+    use std::io;
+
+    /// Degraded fallback: sleep out (a slice of) the timeout and report
+    /// every descriptor ready. With nonblocking sockets this is correct
+    /// (reads/writes return `WouldBlock` when not actually ready) but
+    /// busy-polls; real readiness polling needs the Unix implementation.
+    pub fn poll_impl(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        std::thread::sleep(std::time::Duration::from_millis(u64::from(
+            timeout_ms.clamp(0, 1) as u32,
+        )));
+        for fd in fds.iter_mut() {
+            fd.revents = fd.events;
+        }
+        Ok(fds.len())
+    }
+}
+
+/// Blocks until at least one watched descriptor is ready or `timeout_ms`
+/// elapses (`0` returns immediately, negative waits forever). Returns
+/// the number of entries with nonzero `revents`.
+///
+/// `EINTR` (a signal landed mid-wait — SIGTERM does exactly this) is
+/// reported as zero ready descriptors rather than an error, so callers
+/// fall through to their shutdown-flag check.
+///
+/// # Errors
+///
+/// Any other `poll(2)` failure (`EINVAL` for an oversized set, `ENOMEM`).
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    match sys::poll_impl(fds, timeout_ms) {
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    #[cfg(unix)]
+    use std::os::fd::AsRawFd;
+
+    #[cfg(unix)]
+    #[test]
+    fn reports_readable_only_when_data_is_pending() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        rx.set_nonblocking(true).unwrap();
+
+        let mut fds = [PollFd::new(rx.as_raw_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 0).unwrap(), 0, "no data yet");
+        assert!(!fds[0].readable());
+
+        tx.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(rx.as_raw_fd(), POLLIN)];
+        // Allow generous time for loopback delivery.
+        assert_eq!(poll(&mut fds, 5_000).unwrap(), 1);
+        assert!(fds[0].readable());
+
+        let mut byte = [0u8; 8];
+        let mut rx = rx;
+        assert_eq!(rx.read(&mut byte).unwrap(), 1);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn writable_socket_and_hangup_are_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+
+        let mut fds = [PollFd::new(tx.as_raw_fd(), POLLOUT)];
+        assert_eq!(poll(&mut fds, 5_000).unwrap(), 1);
+        assert!(fds[0].writable());
+
+        drop(tx);
+        let mut fds = [PollFd::new(rx.as_raw_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 5_000).unwrap(), 1);
+        assert!(fds[0].readable(), "peer close must wake the reader");
+    }
+}

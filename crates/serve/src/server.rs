@@ -1,21 +1,32 @@
-//! The concurrent HTTP server: accept loop, bounded dispatch queue,
-//! fixed worker pool, load shedding, and graceful shutdown.
+//! The event-driven HTTP server: a readiness-polling reactor thread, a
+//! bounded *request* dispatch queue, and a fixed worker pool for the
+//! CPU-bound routing work.
 //!
-//! Threading model (see DESIGN.md §"impact-serve"):
+//! Threading model (see DESIGN.md §"Event-driven serve core"):
 //!
-//! - One accept thread polls a nonblocking listener so it can observe
-//!   the shutdown flag between accepts. Accepted connections go into a
-//!   bounded queue; when the queue is full the accept thread writes a
-//!   `503` + `Retry-After` itself and closes the socket — workers never
-//!   see shed load.
+//! - One reactor thread owns the listener and every connection socket,
+//!   multiplexed over `poll(2)` ([`crate::poll`]). Connections are
+//!   nonblocking state machines ([`crate::conn`]): the reactor reads
+//!   available bytes, frames as many complete requests as arrived
+//!   (pipelining), and flushes buffered responses. An idle keep-alive
+//!   connection costs one pollfd entry — not a thread, not a worker.
+//! - Parsed requests go into a bounded dispatch queue; when it is full
+//!   the reactor answers `503` + `Retry-After` itself — workers never
+//!   see shed load. Requests whose exact `(target, body)` bytes were
+//!   answered before are served from the response memo
+//!   ([`crate::rcache`]) without touching the queue at all.
 //! - `workers` threads block on a condvar over the queue. Each pops a
-//!   connection and serves its keep-alive request loop to completion, so
-//!   a connection occupies exactly one worker at a time.
-//! - Shutdown sets an atomic flag: the accept thread stops accepting,
-//!   workers drain the queue and exit, and [`Server::stop`] joins them.
+//!   *request* (not a connection), routes it under `catch_unwind`,
+//!   serializes the response, and hands the frame back to the reactor
+//!   through a completion list plus a wake byte on a loopback TCP pair.
+//!   A connection therefore occupies a worker only while one of its
+//!   requests is actually being routed or simulated.
+//! - Shutdown sets an atomic flag: the reactor closes the listener and
+//!   stops reading, workers drain the queue and exit, in-flight
+//!   responses still flush, and [`Server::stop`] joins everyone.
 
 use std::collections::VecDeque;
-use std::io::{self, BufReader, Write};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -24,25 +35,32 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::api::{route, AppState};
-use crate::http::{read_request, HttpError, Response};
+use crate::conn::DoneResponse;
+use crate::http::{Request, Response};
+use crate::rcache::{ResponseCache, DEFAULT_CACHE_BYTES};
+use crate::reactor::Reactor;
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker threads serving connections.
+    /// Worker threads routing requests.
     pub workers: usize,
-    /// Accepted connections allowed to wait for a worker; beyond this
-    /// the accept loop sheds with `503`. Zero sheds everything (useful
-    /// for deterministic overload tests).
+    /// Parsed requests allowed to wait for a worker; beyond this the
+    /// reactor sheds with `503`. Zero sheds every dispatched request
+    /// (useful for deterministic overload tests).
     pub queue_cap: usize,
-    /// Per-connection read timeout.
+    /// Read deadline: how long a connection may sit idle mid-request
+    /// (or between keep-alive requests) before the reactor evicts it.
     pub read_timeout: Duration,
-    /// Per-connection write timeout.
+    /// Write deadline: how long a client may refuse to drain a pending
+    /// response before the reactor evicts the connection.
     pub write_timeout: Duration,
     /// Streaming threads inside each simulation evaluation.
     pub sim_jobs: usize,
+    /// Byte budget for the serving-layer response memo; `0` disables it.
+    pub response_cache_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -50,25 +68,124 @@ impl Default for ServeConfig {
         Self {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
-            queue_cap: 64,
+            // The queue now holds requests, not connections, and a
+            // pipelining client can legitimately burst dozens at once.
+            queue_cap: 1024,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             sim_jobs: 1,
+            response_cache_bytes: DEFAULT_CACHE_BYTES,
         }
     }
 }
 
-/// Connections waiting for a worker.
-#[derive(Debug, Default)]
-struct Queue {
-    deque: Mutex<VecDeque<TcpStream>>,
-    ready: Condvar,
+/// One parsed request travelling reactor → worker. `slot`/`gen` name
+/// the connection; `seq` orders the response within it.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub slot: usize,
+    pub gen: u64,
+    pub seq: u64,
+    pub req: Request,
 }
 
-impl Queue {
-    fn lock(&self) -> MutexGuard<'_, VecDeque<TcpStream>> {
-        self.deque.lock().unwrap_or_else(PoisonError::into_inner)
+/// One serialized response travelling worker → reactor.
+#[derive(Debug)]
+pub(crate) struct Completion {
+    pub slot: usize,
+    pub gen: u64,
+    pub seq: u64,
+    pub frame: Vec<u8>,
+    pub close: bool,
+}
+
+/// The bounded request queue between reactor and workers.
+#[derive(Debug)]
+pub(crate) struct Dispatch {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl Dispatch {
+    pub fn new(cap: usize) -> Self {
+        Self {
+            jobs: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            cap,
+        }
     }
+
+    fn lock(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        self.jobs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues unless full. Returns the depth after the push, or
+    /// `None` when the request must be shed.
+    pub fn try_push(&self, job: Job) -> Option<usize> {
+        let mut q = self.lock();
+        if q.len() >= self.cap {
+            return None;
+        }
+        q.push_back(job);
+        let depth = q.len();
+        drop(q);
+        self.ready.notify_one();
+        Some(depth)
+    }
+
+    /// Blocks for the next job. Returns `None` once shutdown is
+    /// requested *and* the queue is dry — queued requests are always
+    /// answered.
+    pub fn pop(&self, shutdown: &AtomicBool) -> Option<(Job, usize)> {
+        let mut q = self.lock();
+        loop {
+            if let Some(job) = q.pop_front() {
+                let depth = q.len();
+                return Some((job, depth));
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+        }
+    }
+}
+
+/// Completed responses waiting for the reactor to collect them.
+#[derive(Debug, Default)]
+pub(crate) struct Completions {
+    list: Mutex<Vec<Completion>>,
+}
+
+impl Completions {
+    pub fn push(&self, done: Completion) {
+        self.list
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(done);
+    }
+
+    pub fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.list.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+/// A loopback TCP pair used as the worker → reactor wake pipe, so the
+/// reactor's `poll(2)` returns the moment a completion lands. (A real
+/// pipe would need another syscall wrapper; a loopback socket pair is
+/// dependency-free and identical for this purpose.)
+fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, _) = listener.accept()?;
+    rx.set_nonblocking(true)?;
+    tx.set_nodelay(true)?;
+    Ok((tx, rx))
 }
 
 /// A running service; dropping it without [`Server::stop`] detaches the
@@ -82,37 +199,60 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds, spawns the accept thread and worker pool, and returns
+    /// Binds, spawns the reactor thread and worker pool, and returns
     /// immediately. The service is ready as soon as this returns.
     pub fn start(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(AppState::new(config.sim_jobs));
+        let (wake_tx, wake_rx) = wake_pair()?;
+        let state = Arc::new(AppState::with_cache(
+            config.sim_jobs,
+            config.response_cache_bytes,
+        ));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let queue = Arc::new(Queue::default());
+        let dispatch = Arc::new(Dispatch::new(config.queue_cap));
+        let completions = Arc::new(Completions::default());
         let mut threads = Vec::with_capacity(config.workers + 1);
 
         for i in 0..config.workers.max(1) {
-            let queue = Arc::clone(&queue);
+            let dispatch = Arc::clone(&dispatch);
+            let completions = Arc::clone(&completions);
             let state = Arc::clone(&state);
             let shutdown = Arc::clone(&shutdown);
+            let mut wake = wake_tx.try_clone()?;
             threads.push(
                 thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &state, &shutdown))
+                    .spawn(move || {
+                        worker_loop(&dispatch, &completions, &mut wake, &state, &shutdown)
+                    })
                     .expect("spawn worker"),
             );
         }
         {
-            let queue = Arc::clone(&queue);
+            let dispatch = Arc::clone(&dispatch);
+            let completions = Arc::clone(&completions);
             let state = Arc::clone(&state);
             let shutdown = Arc::clone(&shutdown);
+            let config = config.clone();
             threads.push(
                 thread::Builder::new()
-                    .name("serve-accept".to_string())
-                    .spawn(move || accept_loop(&listener, &config, &queue, &state, &shutdown))
-                    .expect("spawn accept loop"),
+                    .name("serve-reactor".to_string())
+                    .spawn(move || {
+                        // Keep one wake-pipe sender alive on this side so
+                        // worker exit never turns the pipe into EOF spam.
+                        let _wake_keep = wake_tx;
+                        Reactor::new(config).run(
+                            listener,
+                            wake_rx,
+                            &dispatch,
+                            &completions,
+                            &state,
+                            &shutdown,
+                        );
+                    })
+                    .expect("spawn reactor"),
             );
         }
         Ok(Server {
@@ -129,7 +269,7 @@ impl Server {
         self.addr
     }
 
-    /// The shared application state (session + metrics).
+    /// The shared application state (session + metrics + memo).
     #[must_use]
     pub fn state(&self) -> &Arc<AppState> {
         &self.state
@@ -148,9 +288,8 @@ impl Server {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Requests shutdown and joins every thread. In-flight connections
-    /// finish their current request loop; queued connections are served
-    /// before workers exit.
+    /// Requests shutdown and joins every thread. In-flight requests are
+    /// answered and their responses flushed; idle connections close.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         for t in self.threads.drain(..) {
@@ -168,105 +307,18 @@ impl Server {
     }
 }
 
-/// Polls the nonblocking listener, shedding or enqueueing connections.
-fn accept_loop(
-    listener: &TcpListener,
-    config: &ServeConfig,
-    queue: &Queue,
+/// Routes requests until shutdown is requested and the queue is dry.
+fn worker_loop(
+    dispatch: &Dispatch,
+    completions: &Completions,
+    wake: &mut TcpStream,
     state: &AppState,
     shutdown: &AtomicBool,
 ) {
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let _ = stream.set_read_timeout(Some(config.read_timeout));
-                let _ = stream.set_write_timeout(Some(config.write_timeout));
-                // Responses are written as one frame; don't let Nagle
-                // hold them back waiting for an ACK.
-                let _ = stream.set_nodelay(true);
-                let mut q = queue.lock();
-                if q.len() >= config.queue_cap {
-                    drop(q);
-                    shed(stream, state);
-                } else {
-                    q.push_back(stream);
-                    state.metrics.set_queue_depth(q.len());
-                    drop(q);
-                    state.metrics.record_connection();
-                    queue.ready.notify_one();
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => thread::sleep(Duration::from_millis(5)),
-        }
-    }
-    // Wake every worker so they observe the flag and drain the queue.
-    queue.ready.notify_all();
-}
-
-/// Writes the load-shedding response directly from the accept thread.
-fn shed(mut stream: TcpStream, state: &AppState) {
-    state.metrics.record_shed();
-    let resp =
-        Response::error(503, "server overloaded; retry shortly").with_header("Retry-After", "1");
-    let _ = resp.write(&mut stream, false);
-    let _ = stream.flush();
-}
-
-/// Pops connections until shutdown is requested and the queue is dry.
-fn worker_loop(queue: &Queue, state: &AppState, shutdown: &AtomicBool) {
-    loop {
-        let stream = {
-            let mut q = queue.lock();
-            loop {
-                if let Some(s) = q.pop_front() {
-                    state.metrics.set_queue_depth(q.len());
-                    break s;
-                }
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                let (guard, _) = queue
-                    .ready
-                    .wait_timeout(q, Duration::from_millis(50))
-                    .unwrap_or_else(PoisonError::into_inner);
-                q = guard;
-            }
-        };
-        handle_connection(stream, state, shutdown);
-    }
-}
-
-/// Serves one connection's keep-alive request loop.
-fn handle_connection(stream: TcpStream, state: &AppState, shutdown: &AtomicBool) {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        let req = match read_request(&mut reader) {
-            Ok(Some(req)) => req,
-            Ok(None) => return, // clean close between requests
-            Err(HttpError::Io(_)) => {
-                state.metrics.record_read_error();
-                return;
-            }
-            Err(HttpError::Malformed(msg)) => {
-                state.metrics.record_read_error();
-                let _ = Response::error(400, msg).write(&mut writer, false);
-                return;
-            }
-            Err(HttpError::TooLarge(what)) => {
-                state.metrics.record_read_error();
-                let _ = Response::error(413, format!("{what} too large")).write(&mut writer, false);
-                return;
-            }
-        };
+    while let Some((job, depth)) = dispatch.pop(shutdown) {
+        state.metrics.set_queue_depth(depth);
         let started = Instant::now();
-        let (endpoint, response) = match catch_unwind(AssertUnwindSafe(|| route(state, &req))) {
+        let (endpoint, response) = match catch_unwind(AssertUnwindSafe(|| route(state, &job.req))) {
             Ok(routed) => routed,
             Err(_) => (
                 crate::metrics::Endpoint::Other,
@@ -275,12 +327,23 @@ fn handle_connection(stream: TcpStream, state: &AppState, shutdown: &AtomicBool)
         };
         let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         state.metrics.record(endpoint, response.status, micros);
-        // Stop taking new requests on this connection once shutdown
-        // begins, but always finish answering the one we read.
-        let keep = req.keep_alive() && !shutdown.load(Ordering::SeqCst);
-        if response.write(&mut writer, keep).is_err() || !keep {
-            return;
+        if ResponseCache::cacheable(&job.req.method, job.req.body.len()) {
+            state
+                .rcache
+                .put(&job.req.target, &job.req.body, endpoint, &response);
         }
+        // Stop offering keep-alive once shutdown begins, but always
+        // finish answering the request we took.
+        let keep = job.req.keep_alive() && !shutdown.load(Ordering::SeqCst);
+        let done = DoneResponse::serialize(&response, keep);
+        completions.push(Completion {
+            slot: job.slot,
+            gen: job.gen,
+            seq: job.seq,
+            frame: done.frame,
+            close: done.close,
+        });
+        let _ = wake.write(&[1]);
     }
 }
 
@@ -341,5 +404,26 @@ mod tests {
             Ok(mut c) => c.get("/healthz").is_err(),
         };
         assert!(refused);
+    }
+
+    #[test]
+    fn many_idle_connections_cost_no_workers() {
+        // With 1 worker and 64 open connections, requests on any of
+        // them must still be answered: idle connections no longer pin
+        // a worker each.
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut clients: Vec<Client> = (0..64)
+            .map(|_| Client::connect(server.addr()).unwrap())
+            .collect();
+        for client in clients.iter_mut().rev() {
+            let (status, _) = client.get("/healthz").unwrap();
+            assert_eq!(status, 200);
+        }
+        assert!(server.state().metrics.connections_peak() >= 64);
+        server.stop();
     }
 }

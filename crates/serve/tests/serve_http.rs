@@ -70,6 +70,27 @@ fn parallel_mixed_workload_end_to_end() {
     let by = doc.get("requests_by_endpoint").unwrap();
     assert_eq!(by.get("simulate").and_then(Json::as_u64), Some(4));
     assert_eq!(by.get("lint").and_then(Json::as_u64), Some(4));
+    // Connection gauges: this scrape's own connection is open now, and
+    // the four parallel clients pushed the peak to at least 4.
+    assert!(doc.get("connections_open").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(doc.get("connections_peak").and_then(Json::as_u64).unwrap() >= 4);
+    // Per-endpoint latency histograms: the simulate histogram must hold
+    // exactly the simulate requests.
+    let sim_latency = doc
+        .get("latency_by_endpoint")
+        .unwrap()
+        .get("simulate")
+        .unwrap();
+    assert_eq!(sim_latency.get("count").and_then(Json::as_u64), Some(4));
+    let buckets = sim_latency.get("buckets").and_then(Json::as_arr).unwrap();
+    let total: u64 = buckets
+        .iter()
+        .map(|b| b.get("count").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert_eq!(total, 4);
+    // The response memo appears in the document with its hit counters.
+    let rc = doc.get("response_cache").unwrap();
+    assert!(rc.get("insertions").and_then(Json::as_u64).unwrap() >= 1);
     server.stop();
 }
 
@@ -105,19 +126,24 @@ fn simulate_is_bit_identical_to_direct_session_and_memoized() {
     );
     assert_eq!(resp.body, expected.body, "service must be bit-identical");
 
-    // Re-evaluating the same placement from several parallel clients
-    // must serve from the memo: the streamed-trace counter stays put.
+    // Re-evaluating the same exact body from several parallel clients
+    // must not touch the evaluation engine again: the reactor answers
+    // repeats from the byte-exact response memo (and every repeat body
+    // must match the first response bit for bit).
     let streamed_before = server.state().session.metrics().traces_streamed;
     assert_eq!(streamed_before, 1);
+    let first_body = resp.body.clone();
     thread::scope(|scope| {
         for _ in 0..4 {
             let body = &body;
+            let first_body = &first_body;
             let addr = server.addr();
             scope.spawn(move || {
                 let mut client = Client::connect(addr).unwrap();
                 for _ in 0..3 {
                     let resp = client.post_json("/v1/simulate", body).unwrap();
                     assert_eq!(resp.status, 200);
+                    assert_eq!(&resp.body, first_body, "memo hits must be byte-identical");
                 }
             });
         }
@@ -127,7 +153,10 @@ fn simulate_is_bit_identical_to_direct_session_and_memoized() {
         metrics.traces_streamed, streamed_before,
         "repeat placements must not re-stream"
     );
-    assert!(metrics.memo_served >= 12);
+    assert!(
+        server.state().rcache.hit_count() >= 12,
+        "repeats are served by the response memo, not the workers"
+    );
     server.stop();
 }
 
@@ -187,7 +216,7 @@ fn bad_json_reports_the_position_over_http() {
 
 #[test]
 fn overload_sheds_and_recovery_serves_again() {
-    // queue_cap = 0: the accept loop sheds every connection.
+    // queue_cap = 0: the reactor sheds every dispatched request.
     let server = Server::start(ServeConfig {
         workers: 1,
         queue_cap: 0,

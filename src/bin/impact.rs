@@ -39,11 +39,15 @@
 //!   --deny-warnings   exit nonzero on warnings, not just errors
 //!
 //! serve options:
-//!   --addr A        bind address                        (default 127.0.0.1:0)
-//!   --workers N     worker threads                      (default 4)
-//!   --queue N       accepted-connection queue bound     (default 64)
-//!   --timeout-ms N  per-connection read/write timeout   (default 10000)
-//!   --sim-jobs N    streaming threads per evaluation    (default 1)
+//!   --addr A              bind address                      (default 127.0.0.1:0)
+//!   --workers N           worker threads                    (default 4)
+//!   --queue N             dispatched-request queue bound    (default 1024)
+//!   --timeout-ms N        read AND write deadline, shorthand
+//!                         for setting both                  (default 10000)
+//!   --read-timeout MS     idle/slow-client read deadline    (default 10000)
+//!   --write-timeout MS    unread-response write deadline    (default 10000)
+//!   --sim-jobs N          streaming threads per evaluation  (default 1)
+//!   --cache-bytes N       response-memo byte budget; 0 off  (default 64 MiB)
 //!
 //! `impact serve` prints the bound address on stdout, then serves until
 //! SIGTERM/SIGINT or stdin EOF.
@@ -116,7 +120,8 @@ impl Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: impact <report|optimize|sim|viz|trace|simtrace|lint|analyze> <file.impact> [options]\n\
-         \u{20}      impact serve [--addr A] [--workers N] [--queue N] [--timeout-ms N] [--sim-jobs N]\n\
+         \u{20}      impact serve [--addr A] [--workers N] [--queue N] [--timeout-ms N]\n\
+         \u{20}                   [--read-timeout MS] [--write-timeout MS] [--sim-jobs N] [--cache-bytes N]\n\
          see `src/bin/impact.rs` header for the option list"
     );
     ExitCode::FAILURE
@@ -689,6 +694,31 @@ fn serve(rest: Vec<String>) -> ExitCode {
                 }
                 _ => {
                     eprintln!("impact serve: --timeout-ms must be a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--read-timeout" => match value("--read-timeout").map(|v| v.parse::<u64>()) {
+                Ok(Ok(ms)) if ms >= 1 => {
+                    config.read_timeout = std::time::Duration::from_millis(ms);
+                }
+                _ => {
+                    eprintln!("impact serve: --read-timeout must be a positive integer (ms)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--write-timeout" => match value("--write-timeout").map(|v| v.parse::<u64>()) {
+                Ok(Ok(ms)) if ms >= 1 => {
+                    config.write_timeout = std::time::Duration::from_millis(ms);
+                }
+                _ => {
+                    eprintln!("impact serve: --write-timeout must be a positive integer (ms)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--cache-bytes" => match value("--cache-bytes").map(|v| v.parse()) {
+                Ok(Ok(n)) => config.response_cache_bytes = n,
+                _ => {
+                    eprintln!("impact serve: --cache-bytes must be a non-negative integer");
                     return ExitCode::FAILURE;
                 }
             },
