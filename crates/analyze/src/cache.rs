@@ -23,6 +23,10 @@ pub struct ConflictConfig {
     /// `IPA303` warns when the estimated miss-ratio bound of a placement
     /// (see [`crate::conflict::estimate_miss_bound`]) exceeds this.
     pub miss_bound_warn: f64,
+    /// `IPA405` warns when the static memory-traffic bound (words
+    /// fetched per word executed, from the same miss bound) exceeds
+    /// this.
+    pub traffic_bound_warn: f64,
 }
 
 impl Default for ConflictConfig {
@@ -33,6 +37,7 @@ impl Default for ConflictConfig {
             hot_fraction: 0.05,
             max_reports: 8,
             miss_bound_warn: 0.10,
+            traffic_bound_warn: 0.50,
         }
     }
 }

@@ -26,6 +26,11 @@
 //! | IPA301 | warning | loop body footprint exceeds the cache capacity |
 //! | IPA302 | warning | concurrently-hot loop bodies on overlapping cache sets |
 //! | IPA303 | warning | estimated miss-ratio bound exceeds the threshold |
+//! | IPA401 | warning | hot uncontested arc realized as a far transfer |
+//! | IPA402 | warning | hot call pair separated beyond the cache tier |
+//! | IPA403 | warning | loop hot core straddling avoidable cache lines |
+//! | IPA404 | warning | never-executed bytes inside an executed span |
+//! | IPA405 | warning | static memory-traffic bound exceeds the threshold |
 //!
 //! The contract: a full pipeline run over any of the bundled workloads
 //! lints **error-free** (`impact lint` relies on this; warnings are
@@ -53,6 +58,7 @@
 //! assert!(report.is_clean(), "{}", report.render());
 //! ```
 
+pub mod advisor;
 pub mod cache;
 pub mod conflict;
 pub mod diag;
@@ -61,12 +67,20 @@ pub mod freq;
 pub mod pass;
 pub mod placement;
 pub mod program;
+pub mod score;
 
 pub use cache::ConflictConfig;
 pub use conflict::{estimate_miss_bound, MissBound};
 pub use diag::{reports_to_json, Diagnostic, Location, Report, Severity};
 pub use freq::StaticProfiler;
 pub use pass::{Context, Pass, Registry};
+pub use score::{score_placement, PlacementScorer, Score, ScoreCard, ScoreConfig};
+
+/// Version stamp of every JSON document this crate renders for the CLI
+/// and the HTTP service (`impact analyze`/`impact advise` `--json`,
+/// `/v1/analyze`, `/v1/advise`). Bump when a field changes meaning or
+/// shape; consumers pin on it.
+pub const SCHEMA_VERSION: u64 = 1;
 
 use impact_ir::Program;
 use impact_layout::pipeline::{
@@ -120,6 +134,9 @@ pub struct StaticAnalysis {
     /// Analytic miss-ratio bound of the placement under the static
     /// profile at the configured geometry.
     pub miss_bound: MissBound,
+    /// Normalized placement scores (ExtTSP and distance-tier) of the
+    /// pipeline's placement under the static profile.
+    pub scores: ScoreCard,
 }
 
 impl StaticAnalysis {
@@ -140,11 +157,13 @@ impl StaticAnalysis {
         hot.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         let bound = self.miss_bound;
         Json::Obj(vec![
+            ("schema_version".to_string(), SCHEMA_VERSION.to_json()),
             ("target".to_string(), target.to_json()),
             (
                 "total_bytes".to_string(),
                 self.result.placement.total_bytes().to_json(),
             ),
+            ("scores".to_string(), scores_json(self.scores)),
             (
                 "miss_bound".to_string(),
                 Json::Obj(vec![
@@ -205,11 +224,170 @@ pub fn analyze_static(
         &result.placement,
         &conflict,
     );
+    let scores = score_placement(
+        &result.program,
+        &result.profile,
+        &result.placement,
+        score_config_for(conflict),
+    );
     Ok(StaticAnalysis {
         result,
         report,
         miss_bound,
+        scores,
     })
+}
+
+/// The scoring geometry implied by a conflict configuration: the same
+/// cache line size, everything else at the scorers' defaults.
+#[must_use]
+pub fn score_config_for(conflict: ConflictConfig) -> ScoreConfig {
+    ScoreConfig {
+        line_bytes: conflict.line_bytes,
+        ..ScoreConfig::default()
+    }
+}
+
+fn scores_json(scores: ScoreCard) -> impact_support::json::Json {
+    use impact_support::json::Json;
+    use impact_support::ToJson;
+    Json::Obj(vec![
+        ("exttsp".to_string(), scores.exttsp.to_json()),
+        ("tier".to_string(), scores.tier.to_json()),
+    ])
+}
+
+/// The result of a profile-free advisory run: a full [`StaticAnalysis`]
+/// plus the layout advisors' findings (`IPA401`–`IPA405`) over the
+/// pipeline's placement.
+#[derive(Debug)]
+pub struct Advice {
+    /// The underlying static analysis (pipeline result, verification
+    /// report, miss bound, scores).
+    pub analysis: StaticAnalysis,
+    /// The advisors' findings, each with a concrete reorder hint.
+    pub advice: Report,
+}
+
+/// Advisor codes in registry order, used for the per-pass regression
+/// table of a differential advisory.
+pub const ADVISOR_CODES: [&str; 5] = ["IPA401", "IPA402", "IPA403", "IPA404", "IPA405"];
+
+impl Advice {
+    /// The JSON document both `impact advise --json` (one array entry
+    /// per target) and `POST /v1/advise` (a single object) emit —
+    /// shared so the two surfaces cannot drift apart.
+    #[must_use]
+    pub fn to_json_for_target(&self, target: &str) -> impact_support::json::Json {
+        use impact_support::json::Json;
+        use impact_support::ToJson;
+        Json::Obj(vec![
+            ("schema_version".to_string(), SCHEMA_VERSION.to_json()),
+            ("target".to_string(), target.to_json()),
+            (
+                "total_bytes".to_string(),
+                self.analysis.result.placement.total_bytes().to_json(),
+            ),
+            ("scores".to_string(), scores_json(self.analysis.scores)),
+            (
+                "miss_bound_ratio".to_string(),
+                self.analysis.miss_bound.ratio().to_json(),
+            ),
+            ("advice".to_string(), self.advice.to_json()),
+        ])
+    }
+
+    /// Differential advisory: compares the pipeline's placement against
+    /// `baseline` (an alternative placement of the **same** post-inline
+    /// program), reporting both score cards, their deltas, a per-pass
+    /// finding-count regression table, and a `better` verdict (the
+    /// pipeline placement strictly beats the baseline on ExtTSP).
+    #[must_use]
+    pub fn diff_json_for_target(
+        &self,
+        target: &str,
+        baseline_name: &str,
+        baseline: &Placement,
+        conflict: ConflictConfig,
+    ) -> impact_support::json::Json {
+        use impact_support::json::Json;
+        use impact_support::ToJson;
+
+        let result = &self.analysis.result;
+        let base_scores = score_placement(
+            &result.program,
+            &result.profile,
+            baseline,
+            score_config_for(conflict),
+        );
+        let ctx = Context::program_only(&result.program)
+            .with_profile(&result.profile)
+            .with_placement(baseline)
+            .with_conflict(conflict);
+        let base_advice = Registry::advisors().run(&ctx);
+        let scores = self.analysis.scores;
+
+        let regressions = ADVISOR_CODES
+            .iter()
+            .map(|&code| {
+                Json::Obj(vec![
+                    ("code".to_string(), code.to_json()),
+                    (
+                        "findings".to_string(),
+                        self.advice.with_code(code).count().to_json(),
+                    ),
+                    (
+                        "baseline_findings".to_string(),
+                        base_advice.with_code(code).count().to_json(),
+                    ),
+                ])
+            })
+            .collect();
+
+        Json::Obj(vec![
+            ("schema_version".to_string(), SCHEMA_VERSION.to_json()),
+            ("target".to_string(), target.to_json()),
+            ("baseline".to_string(), baseline_name.to_json()),
+            ("scores".to_string(), scores_json(scores)),
+            ("baseline_scores".to_string(), scores_json(base_scores)),
+            (
+                "delta".to_string(),
+                Json::Obj(vec![
+                    (
+                        "exttsp".to_string(),
+                        (scores.exttsp - base_scores.exttsp).to_json(),
+                    ),
+                    (
+                        "tier".to_string(),
+                        (scores.tier - base_scores.tier).to_json(),
+                    ),
+                ]),
+            ),
+            ("regressions".to_string(), Json::Arr(regressions)),
+            (
+                "better".to_string(),
+                (scores.exttsp > base_scores.exttsp).to_json(),
+            ),
+        ])
+    }
+}
+
+/// Runs [`analyze_static`] and then the layout advisors over the
+/// resulting placement — the engine behind `impact advise` and
+/// `POST /v1/advise`.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] exactly like [`analyze_static`].
+pub fn advise_static(
+    program: &Program,
+    config: &PipelineConfig,
+    conflict: ConflictConfig,
+) -> Result<Advice, PipelineError> {
+    let analysis = analyze_static(program, config, conflict)?;
+    let ctx = Context::of_result(&analysis.result).with_conflict(conflict);
+    let advice = Registry::advisors().run(&ctx);
+    Ok(Advice { analysis, advice })
 }
 
 /// A [`Pipeline`] that lints its own intermediate artifacts as it runs

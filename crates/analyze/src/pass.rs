@@ -7,6 +7,10 @@ use impact_layout::placement::Placement;
 use impact_layout::trace_select::TraceAssignment;
 use impact_profile::Profile;
 
+use crate::advisor::{
+    CallPairSeparation, HotColdInterleave, LoopLineStraddle, MisplacedFallThrough,
+    StaticTrafficBound,
+};
 use crate::cache::{ConflictConfig, ConflictPressure};
 use crate::conflict::{LoopFootprint, LoopInterference, StaticMissBound};
 use crate::diag::{Diagnostic, Report};
@@ -149,6 +153,11 @@ impl Registry {
         r.register(Box::new(LoopFootprint));
         r.register(Box::new(LoopInterference));
         r.register(Box::new(StaticMissBound));
+        r.register(Box::new(MisplacedFallThrough));
+        r.register(Box::new(CallPairSeparation));
+        r.register(Box::new(LoopLineStraddle));
+        r.register(Box::new(HotColdInterleave));
+        r.register(Box::new(StaticTrafficBound));
         r
     }
 
@@ -186,6 +195,21 @@ impl Registry {
         r.register(Box::new(LoopFootprint));
         r.register(Box::new(LoopInterference));
         r.register(Box::new(StaticMissBound));
+        r
+    }
+
+    /// The layout advisors (`IPA401`–`IPA405`): placement defects a
+    /// reordering could fix, each reported with a concrete reorder
+    /// hint. This is what `impact advise` runs on top of the static
+    /// analyses.
+    #[must_use]
+    pub fn advisors() -> Self {
+        let mut r = Self::empty();
+        r.register(Box::new(MisplacedFallThrough));
+        r.register(Box::new(CallPairSeparation));
+        r.register(Box::new(LoopLineStraddle));
+        r.register(Box::new(HotColdInterleave));
+        r.register(Box::new(StaticTrafficBound));
         r
     }
 
@@ -236,7 +260,8 @@ mod tests {
             codes,
             vec![
                 "IPA004", "IPA001", "IPA002", "IPA003", "IPA005", "IPA101", "IPA102", "IPA103",
-                "IPA104", "IPA105", "IPA201", "IPA301", "IPA302", "IPA303"
+                "IPA104", "IPA105", "IPA201", "IPA301", "IPA302", "IPA303", "IPA401", "IPA402",
+                "IPA403", "IPA404", "IPA405"
             ]
         );
         let mut dedup = codes.clone();

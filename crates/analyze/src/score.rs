@@ -1,0 +1,393 @@
+//! Static placement scoring: closed-form layout quality without a
+//! simulator.
+//!
+//! Two cost models judge a materialized [`Placement`] from weighted
+//! transfers alone (measured `Profile` or `StaticProfiler` estimate):
+//!
+//! * [`ExtTsp`] — the extended-TSP objective of Newell & Pupyrev
+//!   ("Improved Basic Block Reordering"): a fall-through earns full
+//!   credit, a short forward or backward jump earns a small credit that
+//!   decays linearly with distance, everything else earns nothing.
+//!   This is the objective modern basic-block reorderers maximize.
+//! * [`DistanceTier`] — a Codestitcher-style collocation model: every
+//!   weighted transfer (branches *and* calls) is bucketed by the
+//!   separation of its endpoints — same cache line, same page, or far —
+//!   and earns the tier's credit. This rewards inter-procedural
+//!   locality that ExtTSP's window deliberately ignores.
+//!
+//! Both scorers report achieved credit against the maximum the same
+//! transfers could earn under a perfect layout, so [`Score::normalized`]
+//! is comparable across placements of the *same* program and profile.
+//! Scores of different programs (e.g. inlined vs not) are comparable
+//! only as ranks, which is exactly how validation table 17 uses them.
+//!
+//! The shared transfer enumeration lives in `impact_layout::quality`
+//! ([`for_each_weighted_arc`]) so the pipeline's trace-quality metrics
+//! and these scorers cannot disagree about which transfers exist.
+
+use impact_ir::{Program, Terminator, BYTES_PER_INSTR};
+use impact_layout::quality::for_each_weighted_arc;
+use impact_layout::Placement;
+use impact_profile::Profile;
+
+/// Geometry and credit parameters shared by the scorers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreConfig {
+    /// Forward-jump credit window in bytes (ExtTSP).
+    pub forward_window: u64,
+    /// Backward-jump credit window in bytes (ExtTSP).
+    pub backward_window: u64,
+    /// Peak credit of a non-fall-through transfer (ExtTSP).
+    pub jump_credit: f64,
+    /// Cache line size in bytes (distance tiers).
+    pub line_bytes: u64,
+    /// Page size in bytes (distance tiers).
+    pub page_bytes: u64,
+    /// Credit when both endpoints share a cache line.
+    pub same_line_credit: f64,
+    /// Credit when both endpoints share a page but not a line.
+    pub same_page_credit: f64,
+}
+
+impl Default for ScoreConfig {
+    fn default() -> Self {
+        Self {
+            forward_window: 1024,
+            backward_window: 640,
+            jump_credit: 0.1,
+            line_bytes: 64,
+            page_bytes: 4096,
+            same_line_credit: 1.0,
+            same_page_credit: 0.2,
+        }
+    }
+}
+
+impl ScoreConfig {
+    /// `true` when the tier geometry is degenerate (zero-sized line or
+    /// page, or a page smaller than a line). Scorers return a zero
+    /// score instead of dividing by zero; IPA201 owns reporting the
+    /// configuration error.
+    #[must_use]
+    pub fn bad_geometry(&self) -> bool {
+        self.line_bytes == 0 || self.page_bytes < self.line_bytes
+    }
+}
+
+/// A placement's achieved credit against the best the same weighted
+/// transfers could earn.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Score {
+    /// Credit earned by this placement.
+    pub credit: f64,
+    /// Credit a perfect placement of the same transfers would earn
+    /// (every fall-through-eligible arc adjacent, every other transfer
+    /// at its best tier). Unachievable when hot blocks have several hot
+    /// successors, so [`Score::normalized`] is an upper-bound fraction.
+    pub max_credit: f64,
+}
+
+impl Score {
+    /// Achieved fraction of the maximum credit, in `[0, 1]`; zero when
+    /// no weighted transfer exists.
+    #[must_use]
+    pub fn normalized(&self) -> f64 {
+        if self.max_credit > 0.0 {
+            self.credit / self.max_credit
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One weighted inter- or intra-function transfer with placed
+/// endpoints, as fed to the cost models: the address one past the
+/// source block's last byte, the destination's first byte, and whether
+/// adjacency would be a true fall-through.
+struct PlacedTransfer {
+    src_end: u64,
+    dst: u64,
+    weight: f64,
+    fall_through_eligible: bool,
+}
+
+/// Enumerates every weighted transfer with both endpoints placed:
+/// intra-function arcs (via the shared layout enumeration) plus one
+/// call transfer per executed call site into its callee's entry block.
+/// Return transfers are folded into the call-continuation arc the
+/// profiler already records, so they are not double-counted here.
+fn for_each_placed_transfer<F: FnMut(PlacedTransfer)>(
+    program: &Program,
+    profile: &Profile,
+    placement: &Placement,
+    mut f: F,
+) {
+    for_each_weighted_arc(program, profile, |arc| {
+        let func = program.function(arc.func);
+        let (Some(from_addr), Some(to_addr)) = (
+            placement.try_addr(arc.func, arc.from),
+            placement.try_addr(arc.func, arc.to),
+        ) else {
+            return;
+        };
+        f(PlacedTransfer {
+            src_end: from_addr + func.block(arc.from).size_bytes(),
+            dst: to_addr,
+            weight: arc.weight as f64,
+            fall_through_eligible: !arc.through_call,
+        });
+    });
+
+    for (&(caller, block), &w) in &profile.call_sites {
+        if w == 0 {
+            continue;
+        }
+        let func = program.function(caller);
+        let bb = func.block(block);
+        let Terminator::Call { callee, .. } = *bb.terminator() else {
+            continue;
+        };
+        let entry = program.function(callee).entry();
+        let (Some(from_addr), Some(to_addr)) = (
+            placement.try_addr(caller, block),
+            placement.try_addr(callee, entry),
+        ) else {
+            continue;
+        };
+        f(PlacedTransfer {
+            src_end: from_addr + bb.size_bytes(),
+            dst: to_addr,
+            weight: w as f64,
+            fall_through_eligible: false,
+        });
+    }
+}
+
+/// A closed-form judge of placement quality.
+pub trait PlacementScorer {
+    /// Stable lower-case name used in JSON documents and table rows.
+    fn name(&self) -> &'static str;
+
+    /// Scores `placement` for `program` under `profile`'s weights.
+    fn score(&self, program: &Program, profile: &Profile, placement: &Placement) -> Score;
+}
+
+/// The extended-TSP objective: fall-throughs earn `weight`, short
+/// jumps earn `jump_credit * weight` decayed linearly over the
+/// forward/backward window, far transfers earn nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExtTsp {
+    /// Windows and credits.
+    pub config: ScoreConfig,
+}
+
+impl ExtTsp {
+    /// Credit multiplier (in `[0, 1]`) for one transfer.
+    fn credit(&self, t: &PlacedTransfer) -> f64 {
+        let c = &self.config;
+        if t.fall_through_eligible && t.dst == t.src_end {
+            return 1.0;
+        }
+        if t.dst >= t.src_end {
+            let d = t.dst - t.src_end;
+            if d < c.forward_window {
+                return c.jump_credit * (1.0 - d as f64 / c.forward_window as f64);
+            }
+        } else {
+            let d = t.src_end - t.dst;
+            if d < c.backward_window {
+                return c.jump_credit * (1.0 - d as f64 / c.backward_window as f64);
+            }
+        }
+        0.0
+    }
+}
+
+impl PlacementScorer for ExtTsp {
+    fn name(&self) -> &'static str {
+        "exttsp"
+    }
+
+    fn score(&self, program: &Program, profile: &Profile, placement: &Placement) -> Score {
+        if self.config.forward_window == 0 || self.config.backward_window == 0 {
+            return Score::default();
+        }
+        let mut s = Score::default();
+        for_each_placed_transfer(program, profile, placement, |t| {
+            s.credit += self.credit(&t) * t.weight;
+            s.max_credit += if t.fall_through_eligible {
+                t.weight
+            } else {
+                self.config.jump_credit * t.weight
+            };
+        });
+        s
+    }
+}
+
+/// Codestitcher-style distance tiers: every weighted transfer earns the
+/// credit of the tier its endpoint separation falls into (same line,
+/// same page, far).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistanceTier {
+    /// Tier geometry and credits.
+    pub config: ScoreConfig,
+}
+
+impl PlacementScorer for DistanceTier {
+    fn name(&self) -> &'static str {
+        "tier"
+    }
+
+    fn score(&self, program: &Program, profile: &Profile, placement: &Placement) -> Score {
+        let c = self.config;
+        if c.bad_geometry() {
+            return Score::default();
+        }
+        let mut s = Score::default();
+        for_each_placed_transfer(program, profile, placement, |t| {
+            // The transfer leaves from the source's last instruction.
+            let src = t.src_end - BYTES_PER_INSTR;
+            let credit = if src / c.line_bytes == t.dst / c.line_bytes {
+                c.same_line_credit
+            } else if src / c.page_bytes == t.dst / c.page_bytes {
+                c.same_page_credit
+            } else {
+                0.0
+            };
+            s.credit += credit * t.weight;
+            s.max_credit += c.same_line_credit * t.weight;
+        });
+        s
+    }
+}
+
+/// Both scorers' normalized results for one placement, as surfaced in
+/// analyze/advise documents and table 17.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScoreCard {
+    /// Normalized ExtTSP score in `[0, 1]` (higher is better).
+    pub exttsp: f64,
+    /// Normalized distance-tier score in `[0, 1]` (higher is better).
+    pub tier: f64,
+}
+
+/// Runs both scorers at `config` over one placement.
+#[must_use]
+pub fn score_placement(
+    program: &Program,
+    profile: &Profile,
+    placement: &Placement,
+    config: ScoreConfig,
+) -> ScoreCard {
+    ScoreCard {
+        exttsp: ExtTsp { config }
+            .score(program, profile, placement)
+            .normalized(),
+        tier: DistanceTier { config }
+            .score(program, profile, placement)
+            .normalized(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use impact_ir::{BranchBias, Instr, ProgramBuilder};
+    use impact_layout::baseline;
+    use impact_profile::Profiler;
+
+    use super::*;
+
+    /// main: a -> b (hot branch) with a rare side exit; plus a callee.
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let leaf = pb.reserve("leaf");
+        let mut f = pb.function("main");
+        let a = f.block(vec![Instr::IntAlu; 3]);
+        let b = f.block(vec![Instr::IntAlu; 3]);
+        let side = f.block(vec![Instr::IntAlu; 40]);
+        let c = f.block(vec![]);
+        let exit = f.block(vec![]);
+        f.terminate(a, Terminator::branch(b, side, BranchBias::fixed(0.95)));
+        f.terminate(b, Terminator::call(leaf, c));
+        f.terminate(side, Terminator::jump(c));
+        f.terminate(c, Terminator::branch(a, exit, BranchBias::fixed(0.9)));
+        f.terminate(exit, Terminator::Exit);
+        let id = f.finish();
+        let mut l = pb.function_reserved(leaf);
+        let l0 = l.block(vec![Instr::IntAlu; 2]);
+        l.terminate(l0, Terminator::Return);
+        l.finish();
+        pb.set_entry(id);
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn natural_order_scores_between_zero_and_one() {
+        let p = program();
+        let prof = Profiler::new().runs(4).profile(&p);
+        let placement = baseline::natural(&p);
+        for scorer in [
+            &ExtTsp::default() as &dyn PlacementScorer,
+            &DistanceTier::default(),
+        ] {
+            let s = scorer.score(&p, &prof, &placement);
+            assert!(s.max_credit > 0.0, "{}: {s:?}", scorer.name());
+            assert!(s.credit <= s.max_credit + 1e-9, "{}: {s:?}", scorer.name());
+            let n = s.normalized();
+            assert!((0.0..=1.0).contains(&n), "{}: {n}", scorer.name());
+        }
+    }
+
+    #[test]
+    fn adjacency_beats_separation() {
+        // The same program scored under natural order (hot path a,b
+        // adjacent) must beat a random shuffle on average.
+        let p = program();
+        let prof = Profiler::new().runs(4).profile(&p);
+        let natural = score_placement(&p, &prof, &baseline::natural(&p), ScoreConfig::default());
+        let mut worse = 0;
+        for seed in 0..8u64 {
+            let shuffled = baseline::random(&p, seed);
+            let s = score_placement(&p, &prof, &shuffled, ScoreConfig::default());
+            if s.exttsp <= natural.exttsp + 1e-12 {
+                worse += 1;
+            }
+        }
+        assert!(
+            worse >= 6,
+            "random shuffles should rarely beat natural order ({worse}/8 worse)"
+        );
+    }
+
+    #[test]
+    fn fall_through_earns_full_credit() {
+        // Straight-line a -> b placed adjacently: the arc earns 1.0.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main");
+        let a = f.block(vec![Instr::IntAlu; 2]);
+        let b = f.block(vec![]);
+        f.terminate(a, Terminator::jump(b));
+        f.terminate(b, Terminator::Exit);
+        let id = f.finish();
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let prof = Profiler::new().runs(1).profile(&p);
+        let s = ExtTsp::default().score(&p, &prof, &baseline::natural(&p));
+        assert!((s.normalized() - 1.0).abs() < 1e-12, "{s:?}");
+        let t = DistanceTier::default().score(&p, &prof, &baseline::natural(&p));
+        assert!((t.normalized() - 1.0).abs() < 1e-12, "{t:?}");
+    }
+
+    #[test]
+    fn bad_geometry_scores_zero() {
+        let p = program();
+        let prof = Profiler::new().runs(1).profile(&p);
+        let cfg = ScoreConfig {
+            line_bytes: 0,
+            ..ScoreConfig::default()
+        };
+        let s = DistanceTier { config: cfg }.score(&p, &prof, &baseline::natural(&p));
+        assert_eq!(s, Score::default());
+    }
+}

@@ -1,7 +1,7 @@
 //! `repro` — regenerate any table of the ISCA 1989 IMPACT-I paper.
 //!
 //! ```text
-//! repro [table1 .. table9 | ablation | paging | estimate | variability | assoc | minprob | static | all]
+//! repro [table1 .. table9 | ablation | paging | estimate | variability | assoc | minprob | static | score | all]
 //!       [--fast] [--extended] [--json DIR] [--jobs N] [--metrics FILE]
 //! ```
 //!
@@ -18,6 +18,11 @@
 //! evaluation trace is streamed exactly once per run no matter how many
 //! tables demand it.
 //!
+//! When the `score` table runs at the full budget over the standard
+//! workload set, its mean cost-vs-miss rank correlation is checked
+//! against the committed baseline in `experiments_out/score.json`; a
+//! drop exits 1 so scorer regressions cannot land silently.
+//!
 //! [`SimSession`]: impact_experiments::session::SimSession
 
 use std::process::ExitCode;
@@ -29,7 +34,7 @@ use impact_support::ToJson;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [table1..table9 | ablation | paging | estimate | variability | assoc | minprob | static | all] [--fast] [--extended] [--json DIR] [--jobs N] [--metrics FILE]"
+        "usage: repro [table1..table9 | ablation | paging | estimate | variability | assoc | minprob | static | score | all] [--fast] [--extended] [--json DIR] [--jobs N] [--metrics FILE]"
     );
     ExitCode::FAILURE
 }
@@ -74,6 +79,7 @@ fn main() -> ExitCode {
             "assoc" => selected.push(14),
             "minprob" => selected.push(15),
             "static" => selected.push(16),
+            "score" => selected.push(17),
             t if t.starts_with("table") => match t["table".len()..].parse::<u8>() {
                 Ok(n @ 1..=9) => selected.push(n),
                 _ => return usage(),
@@ -136,5 +142,62 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+
+    // Scorer regression gate. Only the full budget over the standard
+    // workload set is comparable to the committed baseline.
+    if !fast && !extended {
+        if let Some(out) = outputs.iter().find(|o| o.label == "score") {
+            match score_gate(&out.json) {
+                Ok(msg) => eprintln!("{msg}"),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Compares this run's mean cost-vs-miss rank correlation against the
+/// committed `experiments_out/score.json`. A missing baseline skips the
+/// gate (first run on a fresh checkout); a drop is an error.
+fn score_gate(current_json: &str) -> Result<String, String> {
+    const BASELINE: &str = "experiments_out/score.json";
+    let Ok(committed) = std::fs::read_to_string(BASELINE) else {
+        return Ok(format!(
+            "score gate: no committed baseline at {BASELINE}; skipping"
+        ));
+    };
+    let baseline = mean_miss_rho_of(&committed)
+        .map_err(|e| format!("score gate: bad baseline {BASELINE}: {e}"))?;
+    let current =
+        mean_miss_rho_of(current_json).map_err(|e| format!("score gate: bad table output: {e}"))?;
+    if current + 1e-9 < baseline {
+        Err(format!(
+            "score gate: mean miss-rank correlation regressed to {current:+.3} \
+             (committed baseline {baseline:+.3})"
+        ))
+    } else {
+        Ok(format!(
+            "score gate: mean miss-rank correlation {current:+.3} >= committed {baseline:+.3}"
+        ))
+    }
+}
+
+/// Mean of the `miss_rho` field over a JSON array of score rows.
+fn mean_miss_rho_of(src: &str) -> Result<f64, String> {
+    let json = impact_support::json::parse(src).map_err(|e| e.to_string())?;
+    let rows = json.as_arr().ok_or("expected a JSON array of rows")?;
+    if rows.is_empty() {
+        return Err("no rows".to_owned());
+    }
+    let mut sum = 0.0;
+    for row in rows {
+        sum += row
+            .get("miss_rho")
+            .and_then(impact_support::json::Json::as_f64)
+            .ok_or("row missing numeric miss_rho")?;
+    }
+    Ok(sum / rows.len() as f64)
 }

@@ -30,7 +30,7 @@
 //! degrades gracefully with conflict intensity; the `repro estimate`
 //! table quantifies the error against trace-driven simulation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use impact_cache::CacheConfig;
 use impact_ir::{Program, Terminator, BYTES_PER_INSTR};
@@ -45,15 +45,19 @@ use impact_profile::Profile;
 /// code and (ii) taken transfers landing in a different line (call
 /// continuations always count: the callee ran in between). Shared by the
 /// miss estimator and the set-pressure visualization.
+///
+/// The map is ordered so every consumer folds the weights in one fixed
+/// line order: float summation stays byte-identical across runs and
+/// `--jobs` counts.
 #[must_use]
 pub fn line_entry_weights(
     program: &Program,
     profile: &Profile,
     placement: &Placement,
     block_bytes: u64,
-) -> HashMap<u64, f64> {
+) -> BTreeMap<u64, f64> {
     let line_of = |addr: u64| addr / block_bytes;
-    let mut entries: HashMap<u64, f64> = HashMap::new();
+    let mut entries: BTreeMap<u64, f64> = BTreeMap::new();
 
     for (fid, func) in program.functions() {
         let fp = profile.function(fid);
@@ -150,8 +154,9 @@ pub fn estimate_direct_mapped(
     let sets = config.sets();
     let entries = line_entry_weights(program, profile, placement, config.block_bytes);
 
-    // Group lines by set and apply the independent-entry model.
-    let mut per_set: HashMap<u64, Vec<f64>> = HashMap::new();
+    // Group lines by set and apply the independent-entry model. Line
+    // order (and therefore summation order) is fixed by the BTreeMaps.
+    let mut per_set: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
     for (&line, &e) in &entries {
         per_set.entry(line % sets).or_default().push(e);
     }

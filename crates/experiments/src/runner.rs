@@ -16,8 +16,8 @@ use crate::session::SimSession;
 use crate::tables;
 
 /// Table selector used by the `repro` CLI: `1..=9` are the paper's
-/// tables, `10..=16` the reproduction's extra experiments.
-pub const TABLE_IDS: std::ops::RangeInclusive<u8> = 1..=16;
+/// tables, `10..=17` the reproduction's extra experiments.
+pub const TABLE_IDS: std::ops::RangeInclusive<u8> = 1..=17;
 
 /// The stable label of table `n` (file names, metrics, CLI).
 ///
@@ -43,6 +43,7 @@ pub fn label(n: u8) -> &'static str {
         14 => "assoc",
         15 => "minprob",
         16 => "static",
+        17 => "score",
         _ => panic!("unknown table id {n}"),
     }
 }
@@ -76,6 +77,7 @@ enum TablePlan {
     Assoc(tables::assoc::Plan),
     MinProb(tables::min_prob::Plan),
     Static(tables::static_validation::Plan),
+    Score(tables::score_validation::Plan),
 }
 
 fn plan_one(n: u8, session: &mut SimSession, prepared: &[Prepared]) -> TablePlan {
@@ -96,6 +98,7 @@ fn plan_one(n: u8, session: &mut SimSession, prepared: &[Prepared]) -> TablePlan
         14 => TablePlan::Assoc(tables::assoc::plan(session, prepared)),
         15 => TablePlan::MinProb(tables::min_prob::plan(session, prepared)),
         16 => TablePlan::Static(tables::static_validation::plan(session, prepared)),
+        17 => TablePlan::Score(tables::score_validation::plan(session, prepared)),
         _ => panic!("unknown table id {n}"),
     }
 }
@@ -173,6 +176,10 @@ fn finish_one(
             let rows = tables::static_validation::finish(session, &p, prepared);
             pack(tables::static_validation::render(&rows), &rows)
         }
+        TablePlan::Score(p) => {
+            let rows = tables::score_validation::finish(session, &p, prepared);
+            pack(tables::score_validation::render(&rows), &rows)
+        }
     }
 }
 
@@ -229,7 +236,7 @@ mod tests {
         let mut session = SimSession::new();
         let selected: Vec<u8> = TABLE_IDS.collect();
         let outputs = run_tables(&mut session, &prepared, &selected);
-        assert_eq!(outputs.len(), 16);
+        assert_eq!(outputs.len(), 17);
 
         let m = session.metrics();
         assert_eq!(
@@ -242,14 +249,16 @@ mod tests {
             "tables overlap heavily; keys must be shared"
         );
         assert!(m.memo_served > 0, "identical configs must be memo-served");
-        assert_eq!(m.tables.len(), 16);
+        assert_eq!(m.tables.len(), 17);
     }
 
     #[test]
     fn outputs_match_standalone_run_and_any_job_count() {
         let budget = Budget::fast();
         let prepared = vec![prepare(&impact_workloads::by_name("wc").unwrap(), &budget)];
-        let selected = [1u8, 5, 6, 8];
+        // 12 (estimate) guards the order-independent float accumulation:
+        // its sums must not depend on the session's job count.
+        let selected = [1u8, 5, 6, 8, 12];
 
         let mut serial = SimSession::new();
         let a = run_tables(&mut serial, &prepared, &selected);

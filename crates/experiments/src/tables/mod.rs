@@ -7,6 +7,7 @@ pub mod assoc;
 pub mod estimate_validation;
 pub mod min_prob;
 pub mod paging;
+pub mod score_validation;
 pub mod static_validation;
 pub mod t1;
 pub mod t2;

@@ -10,7 +10,7 @@
 //! Both are exposed through the `impact viz`-style reporting in examples
 //! and are plain strings, so they render anywhere.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use impact_cache::CacheConfig;
 use impact_ir::Program;
@@ -123,7 +123,7 @@ pub fn set_pressure_data(
 ) -> Vec<(u64, f64, f64)> {
     let entries = line_entry_weights(program, profile, placement, config.block_bytes);
     let sets = config.sets();
-    let mut per_set: HashMap<u64, Vec<f64>> = HashMap::new();
+    let mut per_set: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
     for (&line, &e) in &entries {
         per_set.entry(line % sets).or_default().push(e);
     }

@@ -1,10 +1,59 @@
 //! Layout quality metrics — the statistics behind the paper's Tables 3
 //! and 4.
 
-use impact_ir::Program;
+use impact_ir::{BlockId, FuncId, Program, Terminator};
 use impact_profile::Profile;
 
 use crate::trace_select::TraceAssignment;
+
+/// One weighted intra-function control transfer, as enumerated by
+/// [`for_each_weighted_arc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArcEvent {
+    /// Function the arc belongs to.
+    pub func: FuncId,
+    /// Source block.
+    pub from: BlockId,
+    /// Destination block.
+    pub to: BlockId,
+    /// Dynamic traversals recorded by the profile.
+    pub weight: u64,
+    /// `true` when the arc is a call continuation: `from` ends in a
+    /// call, so the callee runs between `from` and `to` and placing
+    /// them adjacent does not make the transfer a fall-through.
+    pub through_call: bool,
+}
+
+/// Enumerates every weighted intra-function arc of every *executed*
+/// function, in deterministic (function id, then arc key) order.
+///
+/// This is the single weighted-transfer enumeration shared by the
+/// pipeline quality metrics ([`TraceQuality::measure`]) and the static
+/// placement scorers in `impact-analyze`: both must agree on which
+/// dynamic transfers exist, or their fractions and scores drift apart.
+/// Functions absent from `profile` (shorter `funcs` vector) are treated
+/// as never executed.
+pub fn for_each_weighted_arc<F: FnMut(ArcEvent)>(program: &Program, profile: &Profile, mut f: F) {
+    for (fid, func) in program.functions() {
+        if fid.index() >= profile.funcs.len() {
+            continue;
+        }
+        let fp = profile.function(fid);
+        if fp.invocations == 0 {
+            continue;
+        }
+        for (&(from, to), &weight) in &fp.arcs {
+            let through_call = matches!(func.block(from).terminator(), Terminator::Call { .. });
+            f(ArcEvent {
+                func: fid,
+                from,
+                to,
+                weight,
+                through_call,
+            });
+        }
+    }
+}
 
 /// Table 4 statistics: how dynamic control transfers relate to trace
 /// boundaries.
@@ -68,21 +117,23 @@ impl TraceQuality {
                     block_count += trace.len();
                 }
             }
-
-            for (&(from, to), &w) in &fp.arcs {
-                let t_from = ta.trace_of(from);
-                let t_to = ta.trace_of(to);
-                let from_is_tail = ta.tail(t_from) == from;
-                let to_is_header = ta.header(t_to) == to;
-                if t_from == t_to && ta.position_in_trace(to) == ta.position_in_trace(from) + 1 {
-                    desirable += w;
-                } else if from_is_tail && to_is_header {
-                    neutral += w;
-                } else {
-                    undesirable += w;
-                }
-            }
         }
+
+        for_each_weighted_arc(program, profile, |arc| {
+            let ta = &traces[arc.func.index()];
+            let (from, to) = (arc.from, arc.to);
+            let t_from = ta.trace_of(from);
+            let t_to = ta.trace_of(to);
+            let from_is_tail = ta.tail(t_from) == from;
+            let to_is_header = ta.header(t_to) == to;
+            if t_from == t_to && ta.position_in_trace(to) == ta.position_in_trace(from) + 1 {
+                desirable += arc.weight;
+            } else if from_is_tail && to_is_header {
+                neutral += arc.weight;
+            } else {
+                undesirable += arc.weight;
+            }
+        });
 
         let total = (neutral + undesirable + desirable) as f64;
         let frac = |x: u64| if total > 0.0 { x as f64 / total } else { 0.0 };

@@ -11,9 +11,12 @@
 //! | `POST /v1/layout` | `{"program", "name"?, "runs"?, "max_instrs"?, "min_prob"?}` | placement + quality metrics |
 //! | `POST /v1/simulate` | `{"program", "configs", "seed"?, "max_instrs"?, "layout"?, "runs"?}` | per-config cache statistics |
 //! | `POST /v1/analyze` | `{"program", "name"?, "cache"?, "block"?}` | profile-free static analysis (the `impact analyze --json` document) |
+//! | `POST /v1/advise` | `{"program", "name"?, "cache"?, "block"?, "diff"?}` | placement scores + layout advisors (the `impact advise --json` document) |
 //! | `GET /metrics` | — | counters, latency histogram, memo hit rate |
 
-use impact_analyze::{analyze_static, reports_to_json, CheckedPipeline, ConflictConfig};
+use impact_analyze::{
+    advise_static, analyze_static, reports_to_json, CheckedPipeline, ConflictConfig,
+};
 use impact_asm::parse_program;
 use impact_cache::{Associativity, CacheConfig, CacheStats, FillPolicy, Replacement};
 use impact_experiments::session::SharedSimSession;
@@ -71,11 +74,12 @@ impl AppState {
 /// (for metrics) alongside the response.
 #[must_use]
 pub fn route(state: &AppState, req: &Request) -> (Endpoint, Response) {
-    const ROUTES: [(&str, &str); 6] = [
+    const ROUTES: [(&str, &str); 7] = [
         ("POST", "/v1/lint"),
         ("POST", "/v1/layout"),
         ("POST", "/v1/simulate"),
         ("POST", "/v1/analyze"),
+        ("POST", "/v1/advise"),
         ("GET", "/metrics"),
         ("GET", "/healthz"),
     ];
@@ -84,6 +88,7 @@ pub fn route(state: &AppState, req: &Request) -> (Endpoint, Response) {
         ("POST", "/v1/layout") => (Endpoint::Layout, layout(req)),
         ("POST", "/v1/simulate") => (Endpoint::Simulate, simulate(state, req)),
         ("POST", "/v1/analyze") => (Endpoint::Analyze, analyze(req)),
+        ("POST", "/v1/advise") => (Endpoint::Advise, advise(req)),
         ("GET", "/metrics") => {
             let mut doc = state.metrics.to_json(&state.session.metrics());
             if let Json::Obj(fields) = &mut doc {
@@ -176,6 +181,67 @@ fn analyze(req: &Request) -> Response {
         Ok(analysis) => Response::json(200, &analysis.to_json_for_target(&name)),
         Err(e) => Response::error(400, e.to_string()),
     }
+}
+
+/// `POST /v1/advise` — [`analyze`] plus placement scoring (ExtTSP and
+/// distance tiers) and the layout advisors (`IPA401`–`IPA405`). The
+/// body is the per-target document `impact advise --json` emits: both
+/// surfaces call
+/// [`Advice::to_json_for_target`](impact_analyze::Advice::to_json_for_target).
+/// An optional `"diff"` field (`natural` or `random[:seed]`, the CLI's
+/// `--diff`) switches to the differential document.
+fn advise(req: &Request) -> Response {
+    let doc = match decode_body(req) {
+        Ok(d) => d,
+        Err(resp) => return *resp,
+    };
+    let (name, program, _) = match decode_program(&doc) {
+        Ok(p) => p,
+        Err(resp) => return *resp,
+    };
+    let mut conflict = ConflictConfig::default();
+    match field_u64(&doc, "cache") {
+        Ok(Some(v)) => conflict.cache_bytes = v,
+        Ok(None) => {}
+        Err(resp) => return *resp,
+    }
+    match field_u64(&doc, "block") {
+        Ok(Some(v)) => conflict.line_bytes = v,
+        Ok(None) => {}
+        Err(resp) => return *resp,
+    }
+    let diff = match doc.get("diff") {
+        None => None,
+        Some(Json::Str(spec)) => Some(spec.clone()),
+        Some(_) => return Response::error(400, "field 'diff' must be a string".to_string()),
+    };
+    let advice = match advise_static(&program, &PipelineConfig::default(), conflict) {
+        Ok(a) => a,
+        Err(e) => return Response::error(400, e.to_string()),
+    };
+    let Some(spec) = diff else {
+        return Response::json(200, &advice.to_json_for_target(&name));
+    };
+    let result = &advice.analysis.result;
+    let (bname, bp) = if spec == "natural" {
+        ("natural".to_string(), baseline::natural(&result.program))
+    } else if spec == "random" {
+        ("random:7".to_string(), baseline::random(&result.program, 7))
+    } else if let Some(seed) = spec.strip_prefix("random:").and_then(|s| s.parse().ok()) {
+        (
+            format!("random:{seed}"),
+            baseline::random(&result.program, seed),
+        )
+    } else {
+        return Response::error(
+            400,
+            format!("unknown diff baseline '{spec}' (use natural | random[:seed])"),
+        );
+    };
+    Response::json(
+        200,
+        &advice.diff_json_for_target(&name, &bname, &bp, conflict),
+    )
 }
 
 /// `POST /v1/layout` — run the five-step placement pipeline and return
@@ -809,6 +875,81 @@ mod tests {
             .headers
             .iter()
             .any(|(n, v)| n == "Allow" && v == "POST"));
+    }
+
+    #[test]
+    fn advise_matches_the_cli_document() {
+        let state = AppState::new(1);
+        let text = program_text();
+        let body = format!(
+            r#"{{"program": {}, "name": "cmp", "cache": 1024, "block": 32}}"#,
+            Json::Str(text.clone()),
+        );
+        let (ep, resp) = route(&state, &post("/v1/advise", &body));
+        assert_eq!(ep, Endpoint::Advise);
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+
+        // Same implementation as one `impact advise --json` array entry.
+        let program = parse_program(&text).unwrap();
+        let conflict = ConflictConfig {
+            cache_bytes: 1024,
+            line_bytes: 32,
+            ..ConflictConfig::default()
+        };
+        let advice = advise_static(&program, &PipelineConfig::default(), conflict).unwrap();
+        let expected = Response::json(200, &advice.to_json_for_target("cmp"));
+        assert_eq!(resp.body, expected.body, "service must be bit-identical");
+
+        let doc = body_json(&resp);
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(impact_analyze::SCHEMA_VERSION),
+            "advise must echo the schema version"
+        );
+        assert_eq!(doc.get("target").and_then(Json::as_str), Some("cmp"));
+        assert!(doc.get("scores").unwrap().get("exttsp").is_some());
+        assert!(doc.get("advice").is_some());
+
+        // Differential mode: same engine as `--diff natural`.
+        let diff_body = format!(
+            r#"{{"program": {}, "name": "cmp", "cache": 1024, "block": 32, "diff": "natural"}}"#,
+            Json::Str(text.clone()),
+        );
+        let (_, resp) = route(&state, &post("/v1/advise", &diff_body));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let natural = baseline::natural(&advice.analysis.result.program);
+        let expected = Response::json(
+            200,
+            &advice.diff_json_for_target("cmp", "natural", &natural, conflict),
+        );
+        assert_eq!(resp.body, expected.body);
+        let doc = body_json(&resp);
+        assert_eq!(doc.get("baseline").and_then(Json::as_str), Some("natural"));
+        assert!(doc.get("better").is_some());
+
+        // A bad baseline spec is a client error.
+        let bad = format!(
+            r#"{{"program": {}, "diff": "sorted"}}"#,
+            Json::Str(text.clone()),
+        );
+        let (_, resp) = route(&state, &post("/v1/advise", &bad));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn analyze_echoes_the_schema_version() {
+        let state = AppState::new(1);
+        let body = format!(
+            r#"{{"program": {}, "name": "cmp"}}"#,
+            Json::Str(program_text()),
+        );
+        let (_, resp) = route(&state, &post("/v1/analyze", &body));
+        assert_eq!(resp.status, 200);
+        let doc = body_json(&resp);
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(impact_analyze::SCHEMA_VERSION),
+        );
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub enum Endpoint {
     Simulate,
     /// `POST /v1/analyze`
     Analyze,
+    /// `POST /v1/advise`
+    Advise,
     /// `GET /metrics`
     Metrics,
     /// Anything else (404/405/400 paths).
@@ -34,11 +36,12 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 6] = [
+    const ALL: [Endpoint; 7] = [
         Endpoint::Lint,
         Endpoint::Layout,
         Endpoint::Simulate,
         Endpoint::Analyze,
+        Endpoint::Advise,
         Endpoint::Metrics,
         Endpoint::Other,
     ];
@@ -49,8 +52,9 @@ impl Endpoint {
             Endpoint::Layout => 1,
             Endpoint::Simulate => 2,
             Endpoint::Analyze => 3,
-            Endpoint::Metrics => 4,
-            Endpoint::Other => 5,
+            Endpoint::Advise => 4,
+            Endpoint::Metrics => 5,
+            Endpoint::Other => 6,
         }
     }
 
@@ -62,6 +66,7 @@ impl Endpoint {
             Endpoint::Layout => "layout",
             Endpoint::Simulate => "simulate",
             Endpoint::Analyze => "analyze",
+            Endpoint::Advise => "advise",
             Endpoint::Metrics => "metrics",
             Endpoint::Other => "other",
         }
@@ -71,7 +76,7 @@ impl Endpoint {
 /// Atomic counter block for the whole service.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    requests: [AtomicU64; 6],
+    requests: [AtomicU64; 7],
     status_2xx: AtomicU64,
     status_4xx: AtomicU64,
     status_5xx: AtomicU64,
@@ -85,8 +90,8 @@ pub struct Metrics {
     latency_sum_us: AtomicU64,
     latency_count: AtomicU64,
     /// Per-endpoint latency histograms (same bucket bounds).
-    endpoint_latency: [[AtomicU64; LATENCY_BUCKETS_US.len() + 1]; 6],
-    endpoint_latency_sum_us: [AtomicU64; 6],
+    endpoint_latency: [[AtomicU64; LATENCY_BUCKETS_US.len() + 1]; 7],
+    endpoint_latency_sum_us: [AtomicU64; 7],
     queue_depth: AtomicU64,
     queue_peak: AtomicU64,
     /// Connections currently open in the reactor (gauge).

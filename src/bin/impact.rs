@@ -13,6 +13,9 @@
 //! impact analyze  <file | workload | all>         profile-free pipeline: estimate
 //!                                                 frequencies statically, place,
 //!                                                 and bound the miss ratio
+//! impact advise   <file | workload | all>         analyze, score the placement
+//!                                                 (ExtTSP + distance tiers), and
+//!                                                 run the layout advisors
 //! impact serve    [serve options]                 placement-and-simulation HTTP
 //!                                                 service (see crates/serve)
 //!
@@ -34,9 +37,15 @@
 //!
 //! analyze options:
 //!   --json            emit the analysis as JSON instead of text
+//!   --score           also print the placement scores (always in JSON)
 //!   --cache BYTES     conflict-analysis cache size        (default 2048)
 //!   --block BYTES     conflict-analysis line size         (default 64)
 //!   --deny-warnings   exit nonzero on warnings, not just errors
+//!
+//! advise options (in addition to the analyze options):
+//!   --diff BASELINE   differential mode: score the pipeline placement
+//!                     against `natural` or `random[:seed]` and report
+//!                     deltas plus per-pass finding regressions
 //!
 //! serve options:
 //!   --addr A              bind address                      (default 127.0.0.1:0)
@@ -62,6 +71,12 @@
 //! program: branch probabilities come from static heuristics, the
 //! pipeline is driven by the estimated profile, and the placement is
 //! verified and checked for predicted cache conflicts (IPA301-IPA303).
+//!
+//! `impact advise` builds on `analyze`: it scores the placement with
+//! the ExtTSP and distance-tier cost models and runs the layout
+//! advisors (IPA401-IPA405), each finding carrying a concrete reorder
+//! hint. With `--diff` it scores an alternative placement of the same
+//! program and reports the score deltas and a `better` verdict.
 //! ```
 //!
 //! Example session:
@@ -98,6 +113,8 @@ struct Options {
     optimize: bool,
     json: bool,
     deny_warnings: bool,
+    score: bool,
+    diff: Option<String>,
 }
 
 impl Options {
@@ -119,7 +136,7 @@ impl Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: impact <report|optimize|sim|viz|trace|simtrace|lint|analyze> <file.impact> [options]\n\
+        "usage: impact <report|optimize|sim|viz|trace|simtrace|lint|analyze|advise> <file.impact> [options]\n\
          \u{20}      impact serve [--addr A] [--workers N] [--queue N] [--timeout-ms N]\n\
          \u{20}                   [--read-timeout MS] [--write-timeout MS] [--sim-jobs N] [--cache-bytes N]\n\
          see `src/bin/impact.rs` header for the option list"
@@ -150,6 +167,8 @@ fn main() -> ExitCode {
         optimize: true,
         json: false,
         deny_warnings: false,
+        score: false,
+        diff: None,
     };
 
     let mut rest: Vec<String> = args.collect();
@@ -213,6 +232,11 @@ fn main() -> ExitCode {
             "--no-optimize" => opts.optimize = false,
             "--json" => opts.json = true,
             "--deny-warnings" => opts.deny_warnings = true,
+            "--score" => opts.score = true,
+            "--diff" => match take_value(&mut rest, i) {
+                Some(v) => opts.diff = Some(v),
+                None => return usage(),
+            },
             flag if flag.starts_with('-') => {
                 eprintln!("unknown option {flag}");
                 return usage();
@@ -238,6 +262,9 @@ fn main() -> ExitCode {
     }
     if command == "analyze" {
         return analyze(&opts);
+    }
+    if command == "advise" {
+        return advise(&opts);
     }
 
     let source = match std::fs::read_to_string(&opts.file) {
@@ -393,8 +420,134 @@ fn analyze(opts: &Options) -> ExitCode {
                 .map(|(w, n)| format!("{n} ({w})"))
                 .collect();
             println!("hottest (estimated): {}", top.join(", "));
+            if opts.score {
+                println!(
+                    "placement scores: exttsp {:.3}, distance-tier {:.3} \
+                     (1.0 = every transfer at its best tier)",
+                    analysis.scores.exttsp, analysis.scores.tier
+                );
+            }
             print!("{}", analysis.report.render());
         }
+    }
+    if opts.json {
+        println!("{}", Json::Arr(rows).to_string_pretty());
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Resolves a `--diff` baseline spec against the post-inline program:
+/// `natural` or `random[:seed]` (seed defaults to 7).
+fn diff_baseline(spec: &str, program: &Program) -> Result<(String, Placement), String> {
+    if spec == "natural" {
+        return Ok(("natural".to_string(), baseline::natural(program)));
+    }
+    if spec == "random" {
+        return Ok(("random:7".to_string(), baseline::random(program, 7)));
+    }
+    if let Some(seed) = spec.strip_prefix("random:").and_then(|s| s.parse().ok()) {
+        return Ok((format!("random:{seed}"), baseline::random(program, seed)));
+    }
+    Err(format!(
+        "unknown --diff baseline '{spec}' (use natural | random[:seed])"
+    ))
+}
+
+/// `impact advise` — the profile-free pipeline plus placement scoring
+/// and the layout advisors (IPA401-IPA405) over one or more targets.
+///
+/// Without `--diff`, each target reports its ExtTSP and distance-tier
+/// scores, the miss-ratio bound, and every advisor finding. With
+/// `--diff BASELINE`, the pipeline placement is scored against an
+/// alternative order of the same post-inline program and the document
+/// becomes the score deltas, a per-pass finding regression table, and
+/// a `better` verdict.
+fn advise(opts: &Options) -> ExitCode {
+    use impact::analyze::{advise_static, score_config_for, score_placement, ConflictConfig};
+    use impact::support::json::Json;
+
+    let targets = match lint_targets(opts) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let conflict = ConflictConfig {
+        cache_bytes: opts.cache,
+        line_bytes: opts.block,
+        ..ConflictConfig::default()
+    };
+
+    let mut failed = false;
+    let mut rows: Vec<Json> = Vec::new();
+    for (name, program) in &targets {
+        let advice = match advise_static(program, &PipelineConfig::default(), conflict) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        failed |= !advice.analysis.report.is_clean();
+        failed |= opts.deny_warnings && advice.advice.warning_count() > 0;
+
+        let result = &advice.analysis.result;
+        let diff = match &opts.diff {
+            Some(spec) => match diff_baseline(spec, &result.program) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            },
+            None => None,
+        };
+
+        if opts.json {
+            rows.push(match &diff {
+                Some((bname, bp)) => advice.diff_json_for_target(name, bname, bp, conflict),
+                None => advice.to_json_for_target(name),
+            });
+            continue;
+        }
+
+        let scores = advice.analysis.scores;
+        println!("== {name} ==");
+        println!(
+            "placement scores: exttsp {:.3}, distance-tier {:.3} \
+             (1.0 = every transfer at its best tier)",
+            scores.exttsp, scores.tier
+        );
+        println!(
+            "estimated miss-ratio bound {:.2}% ({}B cache / {}B lines)",
+            advice.analysis.miss_bound.ratio() * 100.0,
+            opts.cache,
+            opts.block
+        );
+        if let Some((bname, bp)) = &diff {
+            let base = score_placement(
+                &result.program,
+                &result.profile,
+                bp,
+                score_config_for(conflict),
+            );
+            println!(
+                "vs {bname}: exttsp {:+.3}, distance-tier {:+.3} — {}",
+                scores.exttsp - base.exttsp,
+                scores.tier - base.tier,
+                if scores.exttsp > base.exttsp {
+                    "pipeline placement is better"
+                } else {
+                    "baseline is at least as good"
+                }
+            );
+        }
+        print!("{}", advice.advice.render());
     }
     if opts.json {
         println!("{}", Json::Arr(rows).to_string_pretty());

@@ -381,3 +381,110 @@ fn ipa201_fires_when_the_cache_has_one_set() {
     assert!(!diags.is_empty(), "a one-set cache must show conflicts");
     assert!(diags.iter().all(|d| d.code == "IPA201"));
 }
+
+/// Runs the layout advisors on a pipeline result whose placement was
+/// swapped for `placement`.
+fn advise_with(
+    p: &impact::experiments::prepare::Prepared,
+    placement: &Placement,
+) -> analyze::Report {
+    let ctx = Context::of_result(&p.result).with_placement(placement);
+    Registry::advisors().run(&ctx)
+}
+
+/// The advisors' acceptance contract: the paper pipeline's own
+/// placement draws no advice on any bundled workload — through the
+/// measured-profile path and the profile-free static path alike.
+#[test]
+fn advisors_are_silent_on_every_paper_placement() {
+    for w in impact::workloads::all() {
+        let p = prepare(&w, &budget());
+        let report = advise_with(&p, &p.result.placement);
+        assert_eq!(
+            report.diagnostics.len(),
+            0,
+            "{} paper placement must satisfy the advisors:\n{}",
+            w.name,
+            report.render()
+        );
+        let advice = analyze::advise_static(&w.program, &Default::default(), Default::default())
+            .expect("static advice");
+        assert_eq!(
+            advice.advice.diagnostics.len(),
+            0,
+            "{} static-path placement must satisfy the advisors:\n{}",
+            w.name,
+            advice.advice.render()
+        );
+    }
+}
+
+#[test]
+fn ipa401_fires_on_a_scrambled_global_order() {
+    let w = impact::workloads::by_name("cccp").unwrap();
+    let p = prepare(&w, &budget());
+    // A random order turns cccp's hot fall-through chains into far jumps.
+    let scrambled = baseline::random(&p.result.program, 7);
+    let report = advise_with(&p, &scrambled);
+    assert!(
+        report.with_code("IPA401").count() > 0,
+        "{}",
+        report.render()
+    );
+    assert_eq!(report.error_count(), 0, "advice is always a warning");
+}
+
+#[test]
+fn ipa402_fires_on_a_separated_hot_call_pair() {
+    let w = impact::workloads::by_name("compress").unwrap();
+    let p = prepare(&w, &budget());
+    // compress's single hot callee sits 8 B from its caller in the paper
+    // order; a random order strands it beyond a cache capacity.
+    let scrambled = baseline::random(&p.result.program, 7);
+    let report = advise_with(&p, &scrambled);
+    assert!(
+        report.with_code("IPA402").count() > 0,
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn ipa403_fires_on_a_scattered_loop_core() {
+    let w = impact::workloads::by_name("make").unwrap();
+    let p = prepare(&w, &budget());
+    let scrambled = baseline::random(&p.result.program, 7);
+    let report = advise_with(&p, &scrambled);
+    assert!(
+        report.with_code("IPA403").count() > 0,
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn ipa404_fires_on_interleaved_cold_code() {
+    let w = impact::workloads::by_name("wc").unwrap();
+    let p = prepare(&w, &budget());
+    // The random baseline ignores the effective / never-executed split.
+    let scrambled = baseline::random(&p.result.program, 7);
+    let report = advise_with(&p, &scrambled);
+    assert!(
+        report.with_code("IPA404").count() > 0,
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn ipa405_fires_on_a_traffic_heavy_order() {
+    let w = impact::workloads::by_name("yacc").unwrap();
+    let p = prepare(&w, &budget());
+    let scrambled = baseline::random(&p.result.program, 7);
+    let report = advise_with(&p, &scrambled);
+    assert!(
+        report.with_code("IPA405").count() > 0,
+        "{}",
+        report.render()
+    );
+}
