@@ -35,6 +35,7 @@
 
 pub mod estimate;
 pub mod fmt;
+pub mod persist;
 pub mod prepare;
 pub mod runner;
 pub mod session;

@@ -40,14 +40,18 @@ use std::any::Any;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 use std::time::Instant;
 
 use impact_cache::{AccessSink, CacheConfig, CacheStats, MultiLane};
 use impact_ir::{Program, Terminator};
 use impact_layout::Placement;
 use impact_profile::ExecLimits;
+use impact_store::{Cid, Store, StoreCounters};
 use impact_support::json::{Json, ToJson};
 use impact_trace::{CaptureSink, RunBuffer, TraceGenerator};
+
+use crate::persist;
 
 /// Default cap on run-buffer artifact memory per session (bytes). Run
 /// buffers cost ~16 bytes per straight-line stretch (~10–15 dynamic
@@ -131,6 +135,8 @@ struct KeyEntry {
     seed: u64,
     limits: ExecLimits,
     fingerprint: u64,
+    /// Persistent 256-bit key (computed only when a store is attached).
+    cid: Option<Cid>,
     /// Union of requested configurations, deduplicated, request order.
     configs: Vec<CacheConfig>,
     /// Statistics for `configs[..simulated]`.
@@ -167,6 +173,9 @@ pub enum SimMode {
     /// Later execution of the key: its stored [`RunBuffer`] artifact
     /// was replayed, no interpreter involved.
     Replayed,
+    /// Every pending config result was loaded from the attached on-disk
+    /// store: no interpreter, no replay, no trace stream at all.
+    DiskServed,
 }
 
 impl SimMode {
@@ -176,6 +185,7 @@ impl SimMode {
         match self {
             SimMode::Interpreted => "interpreted",
             SimMode::Replayed => "replayed",
+            SimMode::DiskServed => "disk_served",
         }
     }
 }
@@ -236,6 +246,12 @@ pub struct SimMetrics {
     /// Artifact replays: late demands served by replaying the key's
     /// stored run buffer instead of re-walking the interpreter.
     pub replays: u64,
+    /// Key deliveries answered entirely from the on-disk store: every
+    /// pending config result was loaded and verified, no trace stream.
+    pub disk_served: u64,
+    /// Run-buffer artifacts reloaded from the on-disk store (the key
+    /// then replays instead of re-interpreting, even in a new process).
+    pub artifacts_loaded: u64,
     /// Requests that hit an already-interned key.
     pub memo_key_hits: u64,
     /// Config results requested across all `request` calls.
@@ -255,10 +271,15 @@ pub struct SimMetrics {
     /// already-executed config result was memo-served (trace length ×
     /// memo-served results of executed keys).
     pub instructions_memo_served: u64,
+    /// Instructions whose simulation was avoided because the key was
+    /// disk-served (trace length recorded with the stored results).
+    pub instructions_disk_served: u64,
     /// Nanoseconds spent in interpreter walks (summed over threads).
     pub interp_nanos: u64,
     /// Nanoseconds spent in artifact replays (summed over threads).
     pub replay_nanos: u64,
+    /// Nanoseconds spent loading and verifying disk-served results.
+    pub disk_nanos: u64,
     /// Run-buffer artifacts currently stored.
     pub artifacts_stored: u64,
     /// Bytes held by stored artifacts (counted against the budget).
@@ -272,6 +293,8 @@ pub struct SimMetrics {
     /// One record per table run through the session (filled by the
     /// `runner` driver).
     pub tables: Vec<TableRecord>,
+    /// Counters of the attached on-disk store (`None` without one).
+    pub store: Option<StoreCounters>,
 }
 
 impl SimMetrics {
@@ -306,11 +329,12 @@ impl SimMetrics {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "sim: {} unique traces, {} streamed ({} re-streams), {} replays, {} memo key hits",
+            "sim: {} unique traces, {} streamed ({} re-streams), {} replays, {} disk-served, {} memo key hits",
             self.unique_traces,
             self.traces_streamed,
             self.restreams,
             self.replays,
+            self.disk_served,
             self.memo_key_hits
         );
         let _ = writeln!(
@@ -330,6 +354,20 @@ impl SimMetrics {
             rate_label(self.replayed_instrs_per_sec()),
             self.instructions_memo_served,
         );
+        if let Some(store) = &self.store {
+            let _ = writeln!(
+                out,
+                "sim: disk-served {} keys / {} instrs; store {} hits, {} misses, {} puts, {} corrupt, {} KiB read, {} KiB written",
+                self.disk_served,
+                self.instructions_disk_served,
+                store.hits,
+                store.misses,
+                store.puts,
+                store.corrupt,
+                store.bytes_read >> 10,
+                store.bytes_written >> 10,
+            );
+        }
         let _ = write!(
             out,
             "sim: {} instructions delivered in {:.2?} sim time ({:.2}M instr/s, {} jobs, {:.2?} wall, {} artifacts / {} KiB)",
@@ -390,13 +428,15 @@ impl ToJson for TableRecord {
 
 impl ToJson for SimMetrics {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("jobs".into(), self.jobs.to_json()),
             ("requests".into(), self.requests.to_json()),
             ("unique_traces".into(), self.unique_traces.to_json()),
             ("traces_streamed".into(), self.traces_streamed.to_json()),
             ("restreams".into(), self.restreams.to_json()),
             ("replays".into(), self.replays.to_json()),
+            ("disk_served".into(), self.disk_served.to_json()),
+            ("artifacts_loaded".into(), self.artifacts_loaded.to_json()),
             ("memo_key_hits".into(), self.memo_key_hits.to_json()),
             ("configs_requested".into(), self.configs_requested.to_json()),
             ("configs_simulated".into(), self.configs_simulated.to_json()),
@@ -414,8 +454,13 @@ impl ToJson for SimMetrics {
                 "instructions_memo_served".into(),
                 self.instructions_memo_served.to_json(),
             ),
+            (
+                "instructions_disk_served".into(),
+                self.instructions_disk_served.to_json(),
+            ),
             ("interp_nanos".into(), self.interp_nanos.to_json()),
             ("replay_nanos".into(), self.replay_nanos.to_json()),
+            ("disk_nanos".into(), self.disk_nanos.to_json()),
             (
                 "interpreted_instrs_per_sec".into(),
                 self.interpreted_instrs_per_sec().to_json(),
@@ -431,7 +476,14 @@ impl ToJson for SimMetrics {
             ("instrs_per_sec".into(), self.instrs_per_sec().to_json()),
             ("simulations".into(), self.simulations.to_json()),
             ("tables".into(), self.tables.to_json()),
-        ])
+        ];
+        if let Some(store) = &self.store {
+            // Spliced flat so dashboards can grep `store_*` directly.
+            if let Json::Obj(store_fields) = store.to_json() {
+                fields.extend(store_fields);
+            }
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -449,18 +501,26 @@ pub struct SimSession {
     traces_streamed: u64,
     restreams: u64,
     replays: u64,
+    disk_served: u64,
+    artifacts_loaded: u64,
     instructions: u64,
     instructions_interpreted: u64,
     instructions_replayed: u64,
     instructions_memo_served: u64,
+    instructions_disk_served: u64,
     interp_nanos: u64,
     replay_nanos: u64,
+    disk_nanos: u64,
     sim_nanos: u64,
     wall_nanos: u64,
     /// Bytes currently held by stored artifacts.
     artifact_bytes: usize,
     /// Cap on artifact memory; 0 disables capture.
     artifact_budget: usize,
+    /// Attached persistent store: finished results and captured
+    /// artifacts are written through, pending demands are answered from
+    /// it before any trace streams.
+    store: Option<Arc<Store>>,
     simulations: Vec<SimRecord>,
     tables: Vec<TableRecord>,
 }
@@ -504,16 +564,21 @@ impl SimSession {
             traces_streamed: 0,
             restreams: 0,
             replays: 0,
+            disk_served: 0,
+            artifacts_loaded: 0,
             instructions: 0,
             instructions_interpreted: 0,
             instructions_replayed: 0,
             instructions_memo_served: 0,
+            instructions_disk_served: 0,
             interp_nanos: 0,
             replay_nanos: 0,
+            disk_nanos: 0,
             sim_nanos: 0,
             wall_nanos: 0,
             artifact_bytes: 0,
             artifact_budget: DEFAULT_ARTIFACT_BUDGET,
+            store: None,
             simulations: Vec::new(),
             tables: Vec::new(),
         }
@@ -527,6 +592,25 @@ impl SimSession {
     pub fn with_artifact_budget(mut self, bytes: usize) -> Self {
         self.artifact_budget = bytes;
         self
+    }
+
+    /// Attaches a persistent content-addressed store. Pending demands
+    /// are answered from it before any trace streams (counted as
+    /// [`SimMetrics::disk_served`]), stored artifacts replay in place of
+    /// re-interpretation even in a fresh process, and every finished
+    /// result and captured artifact is written through — so a session in
+    /// a new process starts warm wherever this one (or any other sharing
+    /// the directory) left off.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<Store>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached persistent store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
     }
 
     /// The worker-thread cap used by [`SimSession::execute`] (and
@@ -629,12 +713,19 @@ impl SimSession {
             }
         }
         let i = self.keys.len();
+        // The persistent key costs a SHA-256 over the program structure;
+        // only paid once per interned key, and only when a store exists.
+        let cid = self
+            .store
+            .is_some()
+            .then(|| persist::trace_key(program, placement, seed, limits));
         self.keys.push(KeyEntry {
             program: program.clone(),
             placement: placement.clone(),
             seed,
             limits,
             fingerprint: fp,
+            cid,
             configs: Vec::new(),
             stats: Vec::new(),
             simulated: 0,
@@ -668,11 +759,53 @@ impl SimSession {
 
         let wall = Instant::now();
         // Phase 1: pull the mutable pieces (fresh banks, pending sinks)
-        // out of each pending key.
+        // out of each pending key. With a store attached, each pending
+        // key first tries the disk: a key whose every pending config
+        // result is already stored is answered without any trace stream,
+        // and a key that must stream anyway reloads its persisted
+        // artifact so the stream is a replay instead of an interpreter
+        // walk — even in a process that never executed the key.
         let mut taken: Vec<PendingWork> = Vec::new();
         for (i, k) in self.keys.iter_mut().enumerate() {
             if !k.pending() {
                 continue;
+            }
+            if let Some(store) = &self.store {
+                let t0 = Instant::now();
+                if let Some(served) = disk_serve(store, k) {
+                    let nanos = t0.elapsed().as_nanos() as u64;
+                    self.disk_served += 1;
+                    self.instructions_disk_served += served.instructions;
+                    self.disk_nanos += nanos;
+                    if served.first_delivery {
+                        self.instructions += served.instructions;
+                    }
+                    self.simulations.push(SimRecord {
+                        fingerprint: format!("{:016x}", k.fingerprint),
+                        seed: k.seed,
+                        configs: served.configs,
+                        sinks: 0,
+                        instructions: served.instructions,
+                        nanos,
+                        mode: SimMode::DiskServed,
+                    });
+                    continue;
+                }
+                if k.artifact.is_none() && self.artifact_bytes < self.artifact_budget {
+                    if let Some(cid) = &k.cid {
+                        let loaded = store
+                            .get(&persist::artifact_cid(cid))
+                            .and_then(|payload| persist::decode_artifact(&payload));
+                        if let Some(buf) = loaded {
+                            let bytes = buf.bytes();
+                            if self.artifact_bytes + bytes <= self.artifact_budget {
+                                self.artifact_bytes += bytes;
+                                self.artifacts_loaded += 1;
+                                k.artifact = Some(buf);
+                            }
+                        }
+                    }
+                }
             }
             let bank = MultiLane::new(k.configs[k.simulated..].iter().copied());
             let sinks: Vec<Box<dyn SessionSink>> = k.sinks[k.streamed_sinks..]
@@ -736,6 +869,7 @@ impl SimSession {
         );
 
         // Phase 3: file results back, serially, in key order.
+        let store = self.store.clone();
         for (i, mut bank, sinks, instructions, nanos, captured, mode) in results {
             let k = &mut self.keys[i];
             match mode {
@@ -753,7 +887,13 @@ impl SimSession {
                     self.replays += 1;
                     self.instructions_replayed += instructions;
                     self.replay_nanos += nanos;
+                    // With a persistent store, a key's *first* delivery
+                    // can be a replay (artifact reloaded from disk).
+                    if k.instructions.is_none() {
+                        self.instructions += instructions;
+                    }
                 }
+                SimMode::DiskServed => unreachable!("disk-served keys never stream"),
             }
             self.sim_nanos += nanos;
             self.simulations.push(SimRecord {
@@ -772,6 +912,7 @@ impl SimSession {
                     k.artifact = Some(buf);
                 }
             }
+            let first_new = k.simulated;
             k.stats.extend(bank.take_stats());
             k.simulated = k.configs.len();
             for (slot, sink) in k.sinks[k.streamed_sinks..].iter_mut().zip(sinks) {
@@ -779,6 +920,23 @@ impl SimSession {
             }
             k.streamed_sinks = k.sinks.len();
             k.instructions = Some(instructions);
+            // Write-through: persist this round's finished results and
+            // the key's artifact. Best-effort — a full or read-only
+            // store disk degrades to cold behavior, never to an error.
+            if let (Some(store), Some(cid)) = (&store, &k.cid) {
+                for (config, stats) in k.configs[first_new..].iter().zip(&k.stats[first_new..]) {
+                    let _ = store.put(
+                        &persist::result_cid(cid, config),
+                        &persist::encode_result(stats, instructions),
+                    );
+                }
+                if let Some(buf) = &k.artifact {
+                    let acid = persist::artifact_cid(cid);
+                    if !store.contains(&acid) {
+                        let _ = store.put(&acid, &persist::encode_artifact(buf));
+                    }
+                }
+            }
         }
         self.wall_nanos += wall.elapsed().as_nanos() as u64;
     }
@@ -875,10 +1033,66 @@ impl SimSession {
             wall_nanos: self.wall_nanos,
             artifacts_stored: self.keys.iter().filter(|k| k.artifact.is_some()).count() as u64,
             artifact_bytes: self.artifact_bytes as u64,
+            disk_served: self.disk_served,
+            artifacts_loaded: self.artifacts_loaded,
+            instructions_disk_served: self.instructions_disk_served,
+            disk_nanos: self.disk_nanos,
+            store: self.store.as_ref().map(|s| s.counters()),
             simulations: self.simulations.clone(),
             tables: self.tables.clone(),
         }
     }
+}
+
+/// What a successful disk serve delivered.
+struct DiskServe {
+    /// Config results filled from the store this round.
+    configs: u64,
+    /// The key's trace length, as recorded with the stored results.
+    instructions: u64,
+    /// Whether this was the key's first delivery (its trace length was
+    /// unknown before — the "unique instructions" accounting trigger).
+    first_delivery: bool,
+}
+
+/// Attempts to answer every pending demand of `k` from the store,
+/// filling its stats in place. Succeeds only when *all* pending configs
+/// decode from verified entries and no sink is pending (sinks observe
+/// the raw stream, which the result entries do not carry). On any miss
+/// the key is left untouched and streams normally.
+fn disk_serve(store: &Store, k: &mut KeyEntry) -> Option<DiskServe> {
+    if k.streamed_sinks < k.sinks.len() {
+        return None;
+    }
+    let cid = k.cid.as_ref()?;
+    let pending = &k.configs[k.simulated..];
+    if pending.is_empty() {
+        // Pending only for its trace length (an empty-config request in
+        // a fresh process): the artifact-reload path handles it.
+        return None;
+    }
+    let first_delivery = k.instructions.is_none();
+    let mut instructions = k.instructions;
+    let mut loaded = Vec::with_capacity(pending.len());
+    for config in pending {
+        let payload = store.get(&persist::result_cid(cid, config))?;
+        let (stats, instrs) = persist::decode_result(&payload)?;
+        // Every result of one trace must agree on the trace length; a
+        // disagreement means a foreign or stale entry — don't serve it.
+        if *instructions.get_or_insert(instrs) != instrs {
+            return None;
+        }
+        loaded.push(stats);
+    }
+    let configs = loaded.len() as u64;
+    k.stats.extend(loaded);
+    k.simulated = k.configs.len();
+    k.instructions = instructions;
+    Some(DiskServe {
+        configs,
+        instructions: instructions.expect("at least one result decoded"),
+        first_delivery,
+    })
 }
 
 /// A [`SimSession`] behind interior locking, shareable across threads.
@@ -913,8 +1127,15 @@ impl SharedSimSession {
     /// Wraps a fresh session that executes with up to `jobs` workers.
     #[must_use]
     pub fn with_jobs(jobs: usize) -> Self {
+        Self::from_session(SimSession::with_jobs(jobs))
+    }
+
+    /// Wraps an already-configured session (artifact budget, persistent
+    /// store, ...) — the constructor `impact serve` uses.
+    #[must_use]
+    pub fn from_session(session: SimSession) -> Self {
         Self {
-            inner: std::sync::Mutex::new(SimSession::with_jobs(jobs)),
+            inner: std::sync::Mutex::new(session),
         }
     }
 
@@ -1267,6 +1488,172 @@ mod tests {
         assert_eq!(m.unique_traces, 1);
         assert_eq!(m.requests, 12);
         assert_eq!(m.memo_served, 11);
+    }
+
+    /// A unique store directory removed on drop.
+    struct TempStore(std::path::PathBuf);
+
+    impl TempStore {
+        fn new(tag: &str) -> TempStore {
+            let dir =
+                std::env::temp_dir().join(format!("impact-session-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempStore(dir)
+        }
+
+        fn open(&self) -> Arc<Store> {
+            Arc::new(Store::open(&self.0).expect("open store"))
+        }
+    }
+
+    impl Drop for TempStore {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// A second session over the same store directory — a fresh process,
+    /// as far as the session can tell — answers repeated demands from
+    /// disk without streaming, bit-identically.
+    #[test]
+    fn second_session_is_disk_served() {
+        let w = impact_workloads::by_name("cmp").unwrap();
+        let placement = baseline::natural(&w.program);
+        let configs = [
+            CacheConfig::direct_mapped(2048, 64),
+            CacheConfig::direct_mapped(512, 64),
+        ];
+        let tmp = TempStore::new("warm");
+        let (cold, cold_len) = {
+            let mut s = SimSession::new().with_store(tmp.open());
+            let h = s.request(&w.program, &placement, 21, LIMITS, &configs);
+            s.execute();
+            let m = s.metrics();
+            assert_eq!(m.traces_streamed, 1, "cold run interprets");
+            assert_eq!(m.disk_served, 0);
+            let store = m.store.expect("store counters present");
+            assert!(store.puts >= 3, "2 results + 1 artifact persisted");
+            s.counted(&h)
+        };
+        let mut s = SimSession::new().with_store(tmp.open());
+        let h = s.request(&w.program, &placement, 21, LIMITS, &configs);
+        s.execute();
+        assert_eq!(s.counted(&h), (cold.clone(), cold_len), "bit-identical");
+        let m = s.metrics();
+        assert_eq!(m.traces_streamed, 0, "warm run never streams");
+        assert_eq!(m.disk_served, 1);
+        assert_eq!(m.instructions_disk_served, cold_len);
+        assert_eq!(m.instructions, cold_len, "unique instructions counted");
+        assert_eq!(m.simulations[0].mode, SimMode::DiskServed);
+        assert!(m.store.expect("counters").hits >= 2);
+    }
+
+    /// A new config over a known trace in a fresh session replays the
+    /// *persisted* artifact instead of re-interpreting.
+    #[test]
+    fn fresh_session_replays_persisted_artifact() {
+        let w = impact_workloads::by_name("cmp").unwrap();
+        let placement = baseline::natural(&w.program);
+        let tmp = TempStore::new("artifact");
+        {
+            let mut s = SimSession::new().with_store(tmp.open());
+            let _ = s.request(
+                &w.program,
+                &placement,
+                22,
+                LIMITS,
+                &[CacheConfig::direct_mapped(2048, 64)],
+            );
+            s.execute();
+        }
+        // Different config: its result is not on disk, but the trace
+        // artifact is.
+        let c2 = [CacheConfig::direct_mapped(1024, 64)];
+        let mut s = SimSession::new().with_store(tmp.open());
+        let h = s.request(&w.program, &placement, 22, LIMITS, &c2);
+        s.execute();
+        let m = s.metrics();
+        assert_eq!(m.traces_streamed, 0, "no interpreter walk");
+        assert_eq!(m.replays, 1);
+        assert_eq!(m.artifacts_loaded, 1);
+        assert_eq!(m.instructions, m.instructions_replayed);
+        assert_eq!(
+            s.stats(&h),
+            sim::simulate(&w.program, &placement, 22, LIMITS, &c2)
+        );
+    }
+
+    /// A corrupt stored entry is quarantined on read, the session falls
+    /// back to simulation, and the next execute re-persists the entry.
+    #[test]
+    fn corrupt_store_entry_falls_back_and_heals() {
+        let w = impact_workloads::by_name("cmp").unwrap();
+        let placement = baseline::natural(&w.program);
+        let cfg = [CacheConfig::direct_mapped(2048, 64)];
+        let tmp = TempStore::new("heal");
+        {
+            let mut s = SimSession::new().with_store(tmp.open());
+            let _ = s.request(&w.program, &placement, 23, LIMITS, &cfg);
+            s.execute();
+        }
+        // Bit-flip every committed entry.
+        let store = tmp.open();
+        for e in store.entries() {
+            let hex = e.cid.to_hex();
+            let path = tmp.0.join("objects").join(&hex[..2]).join(&hex);
+            let mut raw = std::fs::read(&path).expect("read entry");
+            let last = raw.len() - 1;
+            raw[last] ^= 0x10;
+            std::fs::write(&path, raw).expect("damage entry");
+        }
+        drop(store);
+
+        let store = tmp.open();
+        let mut s = SimSession::new().with_store(Arc::clone(&store));
+        let h = s.request(&w.program, &placement, 23, LIMITS, &cfg);
+        s.execute();
+        let m = s.metrics();
+        assert_eq!(m.disk_served, 0, "corrupt entries are never served");
+        assert_eq!(m.traces_streamed, 1, "fell back to the interpreter");
+        let c = m.store.expect("counters");
+        assert!(c.corrupt >= 1, "corruption detected: {c:?}");
+        assert_eq!(
+            s.stats(&h),
+            sim::simulate(&w.program, &placement, 23, LIMITS, &cfg)
+        );
+        // The fallback execution re-persisted the entries: a third
+        // session is disk-served again.
+        let mut s2 = SimSession::new().with_store(tmp.open());
+        let h2 = s2.request(&w.program, &placement, 23, LIMITS, &cfg);
+        s2.execute();
+        assert_eq!(s2.metrics().disk_served, 1, "store healed");
+        assert_eq!(s2.stats(&h2), s.stats(&h));
+    }
+
+    /// Sinks observe the raw stream, so a key with a pending sink is
+    /// never disk-served — but its persisted artifact still replaces the
+    /// interpreter walk.
+    #[test]
+    fn pending_sinks_disable_disk_serving() {
+        let w = impact_workloads::by_name("cmp").unwrap();
+        let placement = baseline::natural(&w.program);
+        let cfg = CacheConfig::direct_mapped(2048, 64);
+        let tmp = TempStore::new("sinks");
+        {
+            let mut s = SimSession::new().with_store(tmp.open());
+            let _ = s.request(&w.program, &placement, 24, LIMITS, &[cfg]);
+            s.execute();
+        }
+        let mut s = SimSession::new().with_store(tmp.open());
+        let h = s.request(&w.program, &placement, 24, LIMITS, &[cfg]);
+        let sink = s.request_sink(&w.program, &placement, 24, LIMITS, Cache::new(cfg));
+        s.execute();
+        let m = s.metrics();
+        assert_eq!(m.disk_served, 0, "sink demands need the stream");
+        assert_eq!(m.replays, 1, "stream is the persisted artifact replay");
+        assert_eq!(m.traces_streamed, 0);
+        let cache: Cache = s.take_sink(&sink);
+        assert_eq!(cache.stats(), s.stats(&h)[0]);
     }
 
     #[test]

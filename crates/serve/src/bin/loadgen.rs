@@ -25,6 +25,14 @@
 //!   `--min-warm-rps N` turns the run into a regression gate: exit
 //!   nonzero unless the warm pipelined phase is *strictly* faster than
 //!   `N` req/s (CI passes the recorded thread-per-connection baseline).
+//!
+//! A third mode, `loadgen --warm-restart --addr HOST:PORT`, targets a
+//! *restarted* server whose `--store` directory already holds the
+//! results of an earlier bench run: it replays only the identical-seed
+//! warm phase (which the fresh process must answer from disk, having
+//! streamed nothing) and merges a `warm_restart` section — plus the
+//! restart-over-cold speedup and the post-run `/metrics` snapshot —
+//! into the existing `--out` document from the cold run.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
@@ -39,9 +47,9 @@ const PIPELINE_DEPTH: usize = 16;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: loadgen --addr HOST:PORT [--smoke] [--connections N] \
-         [--requests N] [--out PATH] [--seed N] [--sweep N,N,...] \
-         [--min-warm-rps N]"
+        "usage: loadgen --addr HOST:PORT [--smoke] [--warm-restart] \
+         [--connections N] [--requests N] [--out PATH] [--seed N] \
+         [--sweep N,N,...] [--min-warm-rps N]"
     );
     ExitCode::FAILURE
 }
@@ -49,6 +57,9 @@ fn usage() -> ExitCode {
 struct Options {
     addr: SocketAddr,
     smoke: bool,
+    /// Replay only the warm phase against a restarted server and merge
+    /// the results into an existing `--out` document.
+    warm_restart: bool,
     connections: usize,
     requests: usize,
     out: String,
@@ -62,6 +73,7 @@ struct Options {
 fn parse_args() -> Result<Options, ExitCode> {
     let mut addr = None;
     let mut smoke = false;
+    let mut warm_restart = false;
     let mut connections = 4usize;
     let mut requests = 200usize;
     let mut out = "BENCH_serve.json".to_string();
@@ -80,6 +92,7 @@ fn parse_args() -> Result<Options, ExitCode> {
                 }
             }
             "--smoke" => smoke = true,
+            "--warm-restart" => warm_restart = true,
             "--connections" => {
                 connections = args
                     .next()
@@ -123,6 +136,7 @@ fn parse_args() -> Result<Options, ExitCode> {
     Ok(Options {
         addr,
         smoke,
+        warm_restart,
         connections,
         requests,
         out,
@@ -568,16 +582,7 @@ fn bench(opts: &Options) -> ExitCode {
         sweep_entries.push(Json::Obj(entry));
     }
 
-    let metrics_after = Client::connect(opts.addr)
-        .and_then(|mut c| c.get("/metrics"))
-        .ok()
-        .and_then(|(status, body)| {
-            if status != 200 {
-                return None;
-            }
-            parse_json(std::str::from_utf8(&body).ok()?).ok()
-        })
-        .unwrap_or(Json::Null);
+    let metrics_after = fetch_metrics(opts.addr);
 
     let speedup = if cold.rps() == 0.0 {
         0.0
@@ -629,6 +634,91 @@ fn bench(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Fetches and parses the server's `/metrics` document (Null on error).
+fn fetch_metrics(addr: SocketAddr) -> Json {
+    Client::connect(addr)
+        .and_then(|mut c| c.get("/metrics"))
+        .ok()
+        .and_then(|(status, body)| {
+            if status != 200 {
+                return None;
+            }
+            parse_json(std::str::from_utf8(&body).ok()?).ok()
+        })
+        .unwrap_or(Json::Null)
+}
+
+/// The `--warm-restart` mode: the server was stopped and relaunched on
+/// the same `--store` directory, so the identical request every warm
+/// iteration sends must be answered from disk — the process has
+/// streamed no trace. Results merge into the `--out` document the cold
+/// run wrote, so one file carries cold, warm, and warm-restart numbers.
+fn warm_restart_bench(opts: &Options) -> ExitCode {
+    let program = Json::Str(program_text());
+    println!(
+        "loadgen: warm-restart phase, {} requests over {} connections against {}",
+        opts.requests, opts.connections, opts.addr
+    );
+
+    let mut clients: Vec<Client> = Vec::new();
+    if let Err(e) = ensure_pool(&mut clients, opts.addr, opts.connections) {
+        eprintln!("loadgen: {e}");
+        return ExitCode::FAILURE;
+    }
+    let warm_json = simulate_body(&program, opts.seed);
+    let phase = match run_phase(
+        &mut clients[..opts.connections],
+        opts.addr,
+        opts.requests,
+        |_| ("/v1/simulate".to_string(), Some(warm_json.clone())),
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("loadgen: warm restart phase failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "warm_restart:   {:>8.1} req/s  p99 {:>8} us",
+        phase.rps(),
+        phase.percentile(99.0)
+    );
+    let metrics_after = fetch_metrics(opts.addr);
+
+    // Merge into the cold run's document rather than clobbering it.
+    let mut fields = match std::fs::read_to_string(&opts.out)
+        .ok()
+        .and_then(|text| parse_json(&text).ok())
+    {
+        Some(Json::Obj(fields)) => fields,
+        _ => vec![("bench".to_string(), "impact-serve loadgen".to_json())],
+    };
+    fields.retain(|(k, _)| !k.starts_with("warm_restart"));
+    let cold_rps = fields
+        .iter()
+        .find(|(k, _)| k == "cold")
+        .and_then(|(_, v)| v.get("rps"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    if cold_rps > 0.0 {
+        let speedup = phase.rps() / cold_rps;
+        println!("warm-restart/cold speedup: {speedup:.1}x");
+        fields.push((
+            "warm_restart_over_cold_speedup".to_string(),
+            speedup.to_json(),
+        ));
+    }
+    fields.push(("warm_restart".to_string(), phase.to_json()));
+    fields.push(("warm_restart_server_metrics".to_string(), metrics_after));
+    let doc = Json::Obj(fields);
+    if let Err(e) = std::fs::write(&opts.out, doc.to_string_pretty() + "\n") {
+        eprintln!("loadgen: cannot write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    println!("merged warm_restart into {}", opts.out);
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -636,6 +726,8 @@ fn main() -> ExitCode {
     };
     if opts.smoke {
         smoke(&opts)
+    } else if opts.warm_restart {
+        warm_restart_bench(&opts)
     } else {
         bench(&opts)
     }

@@ -79,6 +79,26 @@ impl Client {
         self.read_response()
     }
 
+    /// Sends one request with extra headers and a raw byte body (the
+    /// shard proxy path: relay another node's request verbatim).
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let mut frame = format!("{method} {path} HTTP/1.1\r\nHost: impact-serve\r\n").into_bytes();
+        for (name, value) in extra_headers {
+            frame.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        frame.extend_from_slice(format!("Content-Length: {}\r\n\r\n", body.len()).as_bytes());
+        frame.extend_from_slice(body);
+        self.writer.write_all(&frame)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
     /// `GET` returning just status and body.
     pub fn get(&mut self, path: &str) -> io::Result<(u16, Vec<u8>)> {
         let resp = self.request("GET", path, None)?;

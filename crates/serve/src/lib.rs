@@ -48,6 +48,7 @@ pub mod poll;
 pub mod rcache;
 pub(crate) mod reactor;
 pub mod server;
+pub mod shard;
 pub mod signal;
 
 pub use api::{simulate_response_json, AppState};
@@ -56,3 +57,4 @@ pub use http::{Request, Response};
 pub use metrics::{Endpoint, Metrics, LATENCY_BUCKETS_US};
 pub use rcache::ResponseCache;
 pub use server::{ServeConfig, Server};
+pub use shard::{ShardRouter, FORWARDED_HEADER};

@@ -235,6 +235,73 @@ impl Metrics {
         } else {
             session.memo_served as f64 / session.configs_requested as f64
         };
+        let mut sim_fields = vec![
+            ("unique_traces".to_string(), session.unique_traces.to_json()),
+            (
+                "traces_streamed".to_string(),
+                session.traces_streamed.to_json(),
+            ),
+            ("restreams".to_string(), session.restreams.to_json()),
+            ("replays".to_string(), session.replays.to_json()),
+            ("memo_key_hits".to_string(), session.memo_key_hits.to_json()),
+            (
+                "configs_requested".to_string(),
+                session.configs_requested.to_json(),
+            ),
+            (
+                "configs_simulated".to_string(),
+                session.configs_simulated.to_json(),
+            ),
+            ("memo_served".to_string(), session.memo_served.to_json()),
+            ("memo_hit_rate".to_string(), memo_hit_rate.to_json()),
+            ("disk_served".to_string(), session.disk_served.to_json()),
+            (
+                "artifacts_loaded".to_string(),
+                session.artifacts_loaded.to_json(),
+            ),
+            ("instructions".to_string(), session.instructions.to_json()),
+            (
+                "instructions_interpreted".to_string(),
+                session.instructions_interpreted.to_json(),
+            ),
+            (
+                "instructions_replayed".to_string(),
+                session.instructions_replayed.to_json(),
+            ),
+            (
+                "instructions_memo_served".to_string(),
+                session.instructions_memo_served.to_json(),
+            ),
+            (
+                "instructions_disk_served".to_string(),
+                session.instructions_disk_served.to_json(),
+            ),
+            (
+                "instrs_per_sec".to_string(),
+                session.instrs_per_sec().to_json(),
+            ),
+            (
+                "interpreted_instrs_per_sec".to_string(),
+                session.interpreted_instrs_per_sec().to_json(),
+            ),
+            (
+                "replayed_instrs_per_sec".to_string(),
+                session.replayed_instrs_per_sec().to_json(),
+            ),
+            (
+                "artifacts_stored".to_string(),
+                session.artifacts_stored.to_json(),
+            ),
+            (
+                "artifact_bytes".to_string(),
+                session.artifact_bytes.to_json(),
+            ),
+        ];
+        if let Some(store) = &session.store {
+            if let Json::Obj(fields) = store.to_json() {
+                sim_fields.extend(fields);
+            }
+        }
         Json::Obj(vec![
             (
                 "requests_total".to_string(),
@@ -291,62 +358,7 @@ impl Metrics {
                 }
                 .to_json(),
             ),
-            (
-                "sim".to_string(),
-                Json::Obj(vec![
-                    ("unique_traces".to_string(), session.unique_traces.to_json()),
-                    (
-                        "traces_streamed".to_string(),
-                        session.traces_streamed.to_json(),
-                    ),
-                    ("restreams".to_string(), session.restreams.to_json()),
-                    ("replays".to_string(), session.replays.to_json()),
-                    ("memo_key_hits".to_string(), session.memo_key_hits.to_json()),
-                    (
-                        "configs_requested".to_string(),
-                        session.configs_requested.to_json(),
-                    ),
-                    (
-                        "configs_simulated".to_string(),
-                        session.configs_simulated.to_json(),
-                    ),
-                    ("memo_served".to_string(), session.memo_served.to_json()),
-                    ("memo_hit_rate".to_string(), memo_hit_rate.to_json()),
-                    ("instructions".to_string(), session.instructions.to_json()),
-                    (
-                        "instructions_interpreted".to_string(),
-                        session.instructions_interpreted.to_json(),
-                    ),
-                    (
-                        "instructions_replayed".to_string(),
-                        session.instructions_replayed.to_json(),
-                    ),
-                    (
-                        "instructions_memo_served".to_string(),
-                        session.instructions_memo_served.to_json(),
-                    ),
-                    (
-                        "instrs_per_sec".to_string(),
-                        session.instrs_per_sec().to_json(),
-                    ),
-                    (
-                        "interpreted_instrs_per_sec".to_string(),
-                        session.interpreted_instrs_per_sec().to_json(),
-                    ),
-                    (
-                        "replayed_instrs_per_sec".to_string(),
-                        session.replayed_instrs_per_sec().to_json(),
-                    ),
-                    (
-                        "artifacts_stored".to_string(),
-                        session.artifacts_stored.to_json(),
-                    ),
-                    (
-                        "artifact_bytes".to_string(),
-                        session.artifact_bytes.to_json(),
-                    ),
-                ]),
-            ),
+            ("sim".to_string(), Json::Obj(sim_fields)),
         ])
     }
 }
@@ -426,6 +438,39 @@ mod tests {
         assert_eq!(
             impact_support::json::parse(&doc.to_string_pretty()).as_ref(),
             Ok(&doc)
+        );
+    }
+
+    #[test]
+    fn sim_section_carries_disk_and_store_counters() {
+        let m = Metrics::new();
+        let sim = SimMetrics {
+            disk_served: 3,
+            instructions_disk_served: 42,
+            store: Some(impact_store::StoreCounters {
+                hits: 5,
+                ..Default::default()
+            }),
+            ..SimMetrics::default()
+        };
+        let doc = m.to_json(&sim);
+        let s = doc.get("sim").unwrap();
+        assert_eq!(s.get("disk_served").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            s.get("instructions_disk_served").and_then(Json::as_u64),
+            Some(42)
+        );
+        assert_eq!(s.get("store_hits").and_then(Json::as_u64), Some(5));
+        assert_eq!(s.get("store_corrupt").and_then(Json::as_u64), Some(0));
+        // Without an attached store the prefixed counters stay absent.
+        let bare = m.to_json(&SimMetrics::default());
+        assert!(bare.get("sim").unwrap().get("store_hits").is_none());
+        assert_eq!(
+            bare.get("sim")
+                .unwrap()
+                .get("disk_served")
+                .and_then(Json::as_u64),
+            Some(0)
         );
     }
 }

@@ -61,6 +61,19 @@ pub struct ServeConfig {
     pub sim_jobs: usize,
     /// Byte budget for the serving-layer response memo; `0` disables it.
     pub response_cache_bytes: usize,
+    /// Root directory of the persistent content-addressed store; when
+    /// set, finished results and trace artifacts are written through and
+    /// a restarted server answers previously-seen simulate requests from
+    /// disk without re-streaming.
+    pub store_dir: Option<String>,
+    /// In-memory run-buffer artifact byte budget for the session
+    /// (`None`: the session default; `0` disables capture).
+    pub artifact_budget: Option<usize>,
+    /// Shard membership (`host:port` entries, this node included).
+    /// Empty disables shard mode.
+    pub peers: Vec<String>,
+    /// This node's own entry in `peers`; required when `peers` is set.
+    pub advertise: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +88,10 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(10),
             sim_jobs: 1,
             response_cache_bytes: DEFAULT_CACHE_BYTES,
+            store_dir: None,
+            artifact_budget: None,
+            peers: Vec::new(),
+            advertise: None,
         }
     }
 }
@@ -206,10 +223,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let (wake_tx, wake_rx) = wake_pair()?;
-        let state = Arc::new(AppState::with_cache(
-            config.sim_jobs,
-            config.response_cache_bytes,
-        ));
+        let state = Arc::new(AppState::from_config(&config)?);
         let shutdown = Arc::new(AtomicBool::new(false));
         let dispatch = Arc::new(Dispatch::new(config.queue_cap));
         let completions = Arc::new(Completions::default());
@@ -404,6 +418,162 @@ mod tests {
             Ok(mut c) => c.get("/healthz").is_err(),
         };
         assert!(refused);
+    }
+
+    /// A unique scratch directory removed on drop.
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "impact-serve-{tag}-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).expect("create temp dir");
+            TempDir(dir)
+        }
+
+        fn path(&self) -> String {
+            self.0.to_string_lossy().into_owned()
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn simulate_body() -> String {
+        let program = impact_asm::print_program(&impact_workloads::by_name("cmp").unwrap().program);
+        format!(
+            r#"{{"program": {}, "seed": 11, "max_instrs": 40000,
+               "configs": [{{"size": 2048}}, {{"size": 512, "assoc": 2}}]}}"#,
+            impact_support::json::Json::Str(program),
+        )
+    }
+
+    #[test]
+    fn restarted_server_disk_serves_previous_simulations() {
+        let tmp = TempDir::new("restart");
+        let config = ServeConfig {
+            store_dir: Some(tmp.path()),
+            ..tiny_config()
+        };
+        let body = simulate_body();
+
+        // Cold process: the first simulate streams a trace and writes
+        // results through to the store.
+        let server = Server::start(config.clone()).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let first = client.post_json("/v1/simulate", &body).unwrap();
+        assert_eq!(
+            first.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&first.body)
+        );
+        let cold = server.state().session.metrics();
+        assert_eq!(cold.traces_streamed, 1);
+        assert_eq!(cold.disk_served, 0);
+        server.stop();
+
+        // Restarted process, same store: the repeat must be answered
+        // from disk — byte-identically and without streaming a trace.
+        let server = Server::start(config).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let again = client.post_json("/v1/simulate", &body).unwrap();
+        assert_eq!(again.status, 200);
+        assert_eq!(again.body, first.body, "restart must not change bytes");
+        let warm = server.state().session.metrics();
+        assert_eq!(warm.traces_streamed, 0, "no re-streaming after restart");
+        assert_eq!(warm.disk_served, 1);
+        let store = warm.store.expect("store counters present");
+        assert!(store.hits >= 2, "both config results read from disk");
+        server.stop();
+    }
+
+    #[test]
+    fn shard_mode_routes_each_body_to_one_owner() {
+        // Reserve two ports, then start both members on them. (The
+        // listeners are dropped just before the servers bind; the window
+        // is tiny and the test is not run in parallel with port squatters.)
+        let reserve = || {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let (addr_a, addr_b) = (reserve(), reserve());
+        let peers = vec![addr_a.clone(), addr_b.clone()];
+        let start = |addr: &String| {
+            Server::start(ServeConfig {
+                addr: addr.clone(),
+                peers: peers.clone(),
+                advertise: Some(addr.clone()),
+                ..tiny_config()
+            })
+            .unwrap()
+        };
+        let server_a = start(&addr_a);
+        let server_b = start(&addr_b);
+
+        let body = simulate_body();
+        let mut ca = Client::connect(server_a.addr()).unwrap();
+        let mut cb = Client::connect(server_b.addr()).unwrap();
+        let ra = ca.post_json("/v1/simulate", &body).unwrap();
+        let rb = cb.post_json("/v1/simulate", &body).unwrap();
+        assert_eq!(ra.status, 200, "{}", String::from_utf8_lossy(&ra.body));
+        assert_eq!(rb.status, 200);
+        assert_eq!(ra.body, rb.body, "owner and proxy must agree byte-for-byte");
+
+        // Exactly one node simulated; the other proxied its request.
+        let (ma, mb) = (
+            server_a.state().session.metrics(),
+            server_b.state().session.metrics(),
+        );
+        assert_eq!(ma.traces_streamed + mb.traces_streamed, 1);
+        let shard_doc = |srv: &Server| srv.state().shard.as_ref().unwrap().to_json();
+        let count = |doc: &impact_support::json::Json, key: &str| {
+            doc.get(key)
+                .and_then(impact_support::json::Json::as_u64)
+                .unwrap()
+        };
+        let (da, db) = (shard_doc(&server_a), shard_doc(&server_b));
+        assert_eq!(
+            count(&da, "shard_forwarded") + count(&db, "shard_forwarded"),
+            1
+        );
+        // The owner routed exactly one simulate itself: whichever body
+        // arrived second was answered by its response memo before
+        // routing (reactor-level), so it never reaches the counter.
+        assert_eq!(count(&da, "shard_local") + count(&db, "shard_local"), 1);
+        assert_eq!(count(&da, "shard_errors") + count(&db, "shard_errors"), 0);
+
+        // /metrics carries the shard section.
+        let (status, metrics) = ca.get("/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(String::from_utf8_lossy(&metrics).contains("shard_forwarded"));
+
+        server_a.stop();
+        server_b.stop();
+    }
+
+    #[test]
+    fn misconfigured_shard_membership_fails_to_start() {
+        let err = Server::start(ServeConfig {
+            peers: vec!["127.0.0.1:7001".to_string()],
+            ..tiny_config()
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let err = Server::start(ServeConfig {
+            peers: vec!["127.0.0.1:7001".to_string()],
+            advertise: Some("127.0.0.1:9".to_string()),
+            ..tiny_config()
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Rendezvous (highest-random-weight) hashing: maps each key to exactly
+//! one owner among a set of nodes.
+//!
+//! Every node ranks every key independently by `SHA-256(node ‖ key)` and
+//! the highest score owns the key, so all processes that agree on the
+//! membership list agree on ownership with no coordination, and removing
+//! a node only remaps the keys that node owned (the defining rendezvous
+//! property, pinned by a test below).
+
+use crate::cid::KeyWriter;
+
+/// Index into `nodes` of the owner of `key`, or `None` when `nodes` is
+/// empty. Node strings must be exact (e.g. `host:port`) and identical
+/// across all participants.
+#[must_use]
+pub fn owner_index(nodes: &[String], key: &[u8]) -> Option<usize> {
+    nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let mut w = KeyWriter::new("impact.shard.v1");
+            w.str(node);
+            w.bytes(key);
+            (w.finish(), i)
+        })
+        // Max by (score, node name) — the name tiebreak makes a digest
+        // collision (never in practice) still deterministic.
+        .max_by(|(sa, ia), (sb, ib)| sa.cmp(sb).then_with(|| nodes[*ia].cmp(&nodes[*ib])))
+        .map(|(_, i)| i)
+}
+
+/// The owning node of `key`, by value.
+#[must_use]
+pub fn owner<'a>(nodes: &'a [String], key: &[u8]) -> Option<&'a str> {
+    owner_index(nodes, key).map(|i| nodes[i].as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn empty_membership_owns_nothing() {
+        assert_eq!(owner_index(&[], b"k"), None);
+    }
+
+    #[test]
+    fn deterministic_and_order_independent() {
+        let a = nodes(5);
+        let mut b = a.clone();
+        b.reverse();
+        for i in 0..200u32 {
+            let key = i.to_le_bytes();
+            let oa = owner(&a, &key).unwrap();
+            let ob = owner(&b, &key).unwrap();
+            assert_eq!(oa, ob, "ownership must not depend on list order");
+        }
+    }
+
+    #[test]
+    fn spreads_keys_across_nodes() {
+        let ns = nodes(4);
+        let mut counts = [0usize; 4];
+        for i in 0..400u32 {
+            counts[owner_index(&ns, &i.to_le_bytes()).unwrap()] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (40..=180).contains(c),
+                "node {i} owns {c} of 400 keys; rendezvous should spread them"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_node_only_remaps_its_keys() {
+        let full = nodes(5);
+        let removed = full[2].clone();
+        let mut reduced = full.clone();
+        reduced.remove(2);
+        for i in 0..300u32 {
+            let key = i.to_le_bytes();
+            let before = owner(&full, &key).unwrap();
+            let after = owner(&reduced, &key).unwrap();
+            if before != removed {
+                assert_eq!(before, after, "key {i} moved although its owner stayed");
+            }
+        }
+    }
+}

@@ -18,6 +18,8 @@
 //!                                                 run the layout advisors
 //! impact serve    [serve options]                 placement-and-simulation HTTP
 //!                                                 service (see crates/serve)
+//! impact store    <ls|stat|verify|gc> DIR         inspect and maintain a
+//!                                                 persistent result store
 //!
 //! common options:
 //!   --runs N        profiling runs                      (default 8)
@@ -57,9 +59,29 @@
 //!   --write-timeout MS    unread-response write deadline    (default 10000)
 //!   --sim-jobs N          streaming threads per evaluation  (default 1)
 //!   --cache-bytes N       response-memo byte budget; 0 off  (default 64 MiB)
+//!   --store DIR           persistent content-addressed result store:
+//!                         finished results are written through, and a
+//!                         restarted server answers previously-seen
+//!                         /v1/simulate bodies from disk
+//!   --artifact-budget N   in-memory run-buffer artifact byte budget
+//!                         (0 disables capture)
+//!   --peers A,B,...       shard membership (host:port list, this node
+//!                         included); each simulate body is routed to
+//!                         its rendezvous owner, others proxy to it
+//!   --advertise ADDR      this node's own entry in --peers
+//!
+//! store options:
+//!   --max-bytes N     gc: evict oldest entries beyond this footprint
+//!   --json            machine-readable output
 //!
 //! `impact serve` prints the bound address on stdout, then serves until
 //! SIGTERM/SIGINT or stdin EOF.
+//!
+//! `impact store` inspects or maintains a store directory produced by
+//! `impact serve --store` / `repro --store`: `ls` lists entries, `stat`
+//! prints aggregates, `verify` re-checks every frame (quarantining and
+//! exiting nonzero on corruption), and `gc --max-bytes N` evicts
+//! oldest-first down to the byte budget.
 //!
 //! `impact lint` accepts a `.impact` file, the name of a bundled workload
 //! (`wc`, `grep`, ...), or `all`. It runs the checked pipeline and prints
@@ -139,6 +161,8 @@ fn usage() -> ExitCode {
         "usage: impact <report|optimize|sim|viz|trace|simtrace|lint|analyze|advise> <file.impact> [options]\n\
          \u{20}      impact serve [--addr A] [--workers N] [--queue N] [--timeout-ms N]\n\
          \u{20}                   [--read-timeout MS] [--write-timeout MS] [--sim-jobs N] [--cache-bytes N]\n\
+         \u{20}                   [--store DIR] [--artifact-budget N] [--peers A,B,...] [--advertise ADDR]\n\
+         \u{20}      impact store <ls|stat|verify|gc> DIR [--max-bytes N] [--json]\n\
          see `src/bin/impact.rs` header for the option list"
     );
     ExitCode::FAILURE
@@ -152,6 +176,10 @@ fn main() -> ExitCode {
     if command == "serve" {
         // `serve` takes no program file; it has its own flag set.
         return serve(args.collect());
+    }
+    if command == "store" {
+        // `store` operates on a store directory, not a program file.
+        return store_cmd(args.collect());
     }
 
     let mut opts = Options {
@@ -882,11 +910,48 @@ fn serve(rest: Vec<String>) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--store" => match value("--store") {
+                Ok(dir) => config.store_dir = Some(dir),
+                Err(code) => return code,
+            },
+            "--artifact-budget" => match value("--artifact-budget").map(|v| v.parse()) {
+                Ok(Ok(bytes)) => config.artifact_budget = Some(bytes),
+                _ => {
+                    eprintln!("impact serve: --artifact-budget must be a byte count (0 disables)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--peers" => match value("--peers") {
+                Ok(list) => {
+                    config.peers = list
+                        .split(',')
+                        .map(|p| p.trim().to_string())
+                        .filter(|p| !p.is_empty())
+                        .collect();
+                    if config.peers.is_empty() {
+                        eprintln!("impact serve: --peers must name at least one host:port");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                Err(code) => return code,
+            },
+            "--advertise" => match value("--advertise") {
+                Ok(addr) => config.advertise = Some(addr),
+                Err(code) => return code,
+            },
             flag => {
                 eprintln!("impact serve: unknown option {flag}");
                 return usage();
             }
         }
+    }
+    if !config.peers.is_empty() && config.advertise.is_none() {
+        eprintln!("impact serve: --peers needs --advertise (this node's own host:port entry)");
+        return ExitCode::FAILURE;
+    }
+    if config.advertise.is_some() && config.peers.is_empty() {
+        eprintln!("impact serve: --advertise only makes sense with --peers");
+        return ExitCode::FAILURE;
     }
 
     let server = match Server::start(config) {
@@ -904,5 +969,165 @@ fn serve(rest: Vec<String>) -> ExitCode {
     signal::watch_shutdown(server.shutdown_flag());
     server.wait();
     println!("impact serve: shut down cleanly");
+    ExitCode::SUCCESS
+}
+
+/// `impact store` — inspect and maintain a persistent result store:
+/// `ls` (entries), `stat` (aggregates), `verify` (re-check every frame,
+/// nonzero exit on corruption), `gc --max-bytes N` (evict oldest-first).
+fn store_cmd(rest: Vec<String>) -> ExitCode {
+    use impact::store::{kind, Store};
+    use impact::support::json::{Json, ToJson};
+
+    let store_usage = || {
+        eprintln!("usage: impact store <ls|stat|verify|gc> DIR [--max-bytes N] [--json]");
+        ExitCode::FAILURE
+    };
+    let mut action: Option<String> = None;
+    let mut dir: Option<String> = None;
+    let mut max_bytes: Option<u64> = None;
+    let mut json = false;
+    let mut args = rest.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--max-bytes" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => max_bytes = Some(n),
+                None => {
+                    eprintln!("impact store: --max-bytes must be a byte count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ if action.is_none() => action = Some(arg),
+            _ if dir.is_none() => dir = Some(arg),
+            _ => return store_usage(),
+        }
+    }
+    let (Some(action), Some(dir)) = (action, dir) else {
+        return store_usage();
+    };
+    if !matches!(action.as_str(), "ls" | "stat" | "verify" | "gc") {
+        eprintln!("impact store: unknown action {action}");
+        return store_usage();
+    }
+    let store = match Store::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("impact store: cannot open {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match action.as_str() {
+        "ls" => {
+            let entries = store.entries();
+            if json {
+                let doc = Json::Arr(
+                    entries
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("cid".to_string(), e.cid.to_hex().to_json()),
+                                (
+                                    "kind".to_string(),
+                                    kind::label(store.peek_kind(&e.cid).unwrap_or(0)).to_json(),
+                                ),
+                                ("bytes".to_string(), e.file_bytes.to_json()),
+                            ])
+                        })
+                        .collect(),
+                );
+                println!("{}", doc.to_string_pretty());
+            } else {
+                for e in &entries {
+                    println!(
+                        "{}  {:<8}  {:>10}",
+                        e.cid,
+                        kind::label(store.peek_kind(&e.cid).unwrap_or(0)),
+                        e.file_bytes
+                    );
+                }
+                println!("{} entries", entries.len());
+            }
+        }
+        "stat" => {
+            let stat = store.stat();
+            let hist = store.kind_histogram();
+            let of = |k: u8| hist.get(&k).copied().unwrap_or(0);
+            if json {
+                let doc = Json::Obj(vec![
+                    ("entries".to_string(), stat.entries.to_json()),
+                    ("bytes".to_string(), stat.bytes.to_json()),
+                    ("quarantined".to_string(), stat.quarantined.to_json()),
+                    ("artifacts".to_string(), of(kind::ARTIFACT).to_json()),
+                    ("results".to_string(), of(kind::RESULT).to_json()),
+                ]);
+                println!("{}", doc.to_string_pretty());
+            } else {
+                println!(
+                    "{} entries ({} artifacts, {} results), {} bytes, {} quarantined",
+                    stat.entries,
+                    of(kind::ARTIFACT),
+                    of(kind::RESULT),
+                    stat.bytes,
+                    stat.quarantined
+                );
+            }
+        }
+        "verify" => {
+            let report = store.verify();
+            if json {
+                let doc = Json::Obj(vec![
+                    ("checked".to_string(), report.checked.to_json()),
+                    ("ok".to_string(), report.ok.to_json()),
+                    (
+                        "quarantined".to_string(),
+                        Json::Arr(
+                            report
+                                .quarantined
+                                .iter()
+                                .map(|cid| cid.to_hex().to_json())
+                                .collect(),
+                        ),
+                    ),
+                ]);
+                println!("{}", doc.to_string_pretty());
+            } else {
+                println!(
+                    "verified {} entries: {} ok, {} quarantined",
+                    report.checked,
+                    report.ok,
+                    report.quarantined.len()
+                );
+                for cid in &report.quarantined {
+                    println!("quarantined {cid}");
+                }
+            }
+            if !report.quarantined.is_empty() {
+                return ExitCode::FAILURE;
+            }
+        }
+        _gc => {
+            let Some(max) = max_bytes else {
+                eprintln!("impact store: gc needs --max-bytes N");
+                return ExitCode::FAILURE;
+            };
+            let report = store.gc(max);
+            if json {
+                let doc = Json::Obj(vec![
+                    ("scanned".to_string(), report.scanned.to_json()),
+                    ("removed".to_string(), report.removed.to_json()),
+                    ("removed_bytes".to_string(), report.removed_bytes.to_json()),
+                    ("kept_bytes".to_string(), report.kept_bytes.to_json()),
+                ]);
+                println!("{}", doc.to_string_pretty());
+            } else {
+                println!(
+                    "gc: scanned {}, removed {} ({} bytes), kept {} bytes",
+                    report.scanned, report.removed, report.removed_bytes, report.kept_bytes
+                );
+            }
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -13,6 +13,7 @@
 //! * [`asm`] — a human-readable text format for program models,
 //! * [`analyze`] — pass-based static analysis and lints (`impact lint`),
 //! * [`serve`] — the concurrent placement-and-simulation HTTP service,
+//! * [`store`] — the persistent content-addressed result store,
 //! * [`support`] — dependency-free RNG / JSON / test-harness utilities.
 
 #![forbid(unsafe_code)]
@@ -25,6 +26,7 @@ pub use impact_ir as ir;
 pub use impact_layout as layout;
 pub use impact_profile as profile;
 pub use impact_serve as serve;
+pub use impact_store as store;
 pub use impact_support as support;
 pub use impact_trace as trace;
 pub use impact_workloads as workloads;

@@ -238,4 +238,206 @@ fn serve_rejects_bad_flags() {
         .expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--workers must be"));
+
+    let out = impact_bin()
+        .args(["serve", "--artifact-budget", "lots"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--artifact-budget must be"));
+
+    // Shard membership needs both halves.
+    let out = impact_bin()
+        .args(["serve", "--peers", "127.0.0.1:7001"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--peers needs --advertise"));
+    let out = impact_bin()
+        .args(["serve", "--advertise", "127.0.0.1:7001"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--advertise only makes sense"));
+}
+
+/// Spawns `impact serve` with the given extra flags, returning the child
+/// and its announced address. Dropping the child's stdin shuts it down.
+fn spawn_serve(extra: &[&str]) -> (std::process::Child, String) {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let mut child = impact_bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let stdout = child.stdout.take().unwrap();
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .expect("serve prints its address");
+    let addr = line
+        .trim()
+        .strip_prefix("serving on http://")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+    // Hand stdout back so the pipe outlives this function — closing it
+    // would SIGPIPE the server when it logs its shutdown line.
+    child.stdout = Some(reader.into_inner());
+    (child, addr)
+}
+
+/// End-to-end acceptance of the persistent store: a restarted server
+/// answers a previously-seen /v1/simulate body byte-identically from
+/// disk, without streaming a trace, over real sockets.
+#[test]
+fn serve_with_store_restarts_warm() {
+    use impact::serve::Client;
+    use impact::support::json::{parse, Json};
+
+    let store_dir =
+        std::env::temp_dir().join(format!("impact_cli_serve_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_flag = store_dir.to_str().unwrap().to_string();
+
+    let program = std::fs::read_to_string(sample_file("serve_store")).unwrap();
+    let body = format!(
+        r#"{{"program": {}, "seed": 5, "max_instrs": 30000,
+           "configs": [{{"size": 1024}}, {{"size": 256, "assoc": 2}}]}}"#,
+        Json::Str(program).to_string_pretty(),
+    );
+
+    // Cold process: streams the trace, persists results.
+    let (mut child, addr) = spawn_serve(&["--store", &store_flag]);
+    let mut client = Client::connect(addr.parse().unwrap()).expect("connect");
+    let first = client.post_json("/v1/simulate", &body).expect("simulate");
+    assert_eq!(
+        first.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&first.body)
+    );
+    drop(child.stdin.take());
+    assert!(child.wait().expect("serve exits").success());
+
+    // Restarted process, same store, artifact capture off (exercises
+    // --artifact-budget): the repeat is disk-served, byte-identically.
+    let (mut child, addr) = spawn_serve(&["--store", &store_flag, "--artifact-budget", "0"]);
+    let mut client = Client::connect(addr.parse().unwrap()).expect("connect");
+    let again = client.post_json("/v1/simulate", &body).expect("simulate");
+    assert_eq!(again.status, 200);
+    assert_eq!(again.body, first.body, "restart must not change bytes");
+
+    let (status, metrics) = client.get("/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    let doc = parse(std::str::from_utf8(&metrics).unwrap()).unwrap();
+    let sim = doc.get("sim").expect("sim section");
+    assert_eq!(sim.get("traces_streamed").and_then(Json::as_u64), Some(0));
+    assert_eq!(sim.get("disk_served").and_then(Json::as_u64), Some(1));
+    assert_eq!(sim.get("artifacts_stored").and_then(Json::as_u64), Some(0));
+    assert!(sim.get("store_hits").and_then(Json::as_u64).unwrap() >= 2);
+
+    drop(child.stdin.take());
+    assert!(child.wait().expect("serve exits").success());
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn store_subcommand_inspects_verifies_and_gcs() {
+    use impact::store::{kind, Cid, Store};
+
+    let dir = std::env::temp_dir().join(format!("impact_cli_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).expect("open store");
+    let payloads: [&[u8]; 3] = [
+        &[kind::ARTIFACT, 1, 2, 3],
+        &[kind::RESULT, 4, 5],
+        &[kind::RESULT, 6],
+    ];
+    let cids: Vec<Cid> = payloads
+        .iter()
+        .map(|p| {
+            let cid = Cid::of(p);
+            store.put(&cid, p).expect("put");
+            cid
+        })
+        .collect();
+    let dir_flag = dir.to_str().unwrap();
+
+    // ls: every cid listed with its kind label.
+    let out = impact_bin()
+        .args(["store", "ls", dir_flag])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("3 entries"), "{text}");
+    assert!(text.contains(&cids[0].to_hex()), "{text}");
+    assert!(text.contains("artifact"), "{text}");
+    assert!(text.contains("result"), "{text}");
+
+    // stat --json: aggregate counts.
+    let out = impact_bin()
+        .args(["store", "stat", dir_flag, "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"entries\": 3"), "{text}");
+    assert!(text.contains("\"artifacts\": 1"), "{text}");
+    assert!(text.contains("\"results\": 2"), "{text}");
+
+    // verify: clean store passes.
+    let out = impact_bin()
+        .args(["store", "verify", dir_flag])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("3 ok"));
+
+    // Corrupt one payload byte on disk: verify must quarantine it and
+    // exit nonzero.
+    let hex = cids[0].to_hex();
+    let victim = dir.join("objects").join(&hex[..2]).join(&hex);
+    let mut raw = std::fs::read(&victim).expect("read entry");
+    let last = raw.len() - 1;
+    raw[last] ^= 0x40;
+    std::fs::write(&victim, &raw).expect("rewrite entry");
+    let out = impact_bin()
+        .args(["store", "verify", dir_flag])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "corruption must fail verify");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 quarantined"), "{text}");
+    assert!(text.contains(&hex), "{text}");
+
+    // gc --max-bytes 0 clears the remaining entries.
+    let out = impact_bin()
+        .args(["store", "gc", dir_flag, "--max-bytes", "0", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"removed\": 2"), "{text}");
+    assert!(text.contains("\"kept_bytes\": 0"), "{text}");
+
+    // gc without a budget is an error, as is a missing directory action.
+    let out = impact_bin()
+        .args(["store", "gc", dir_flag])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--max-bytes"));
+    let out = impact_bin()
+        .args(["store", "frobnicate", dir_flag])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
 }
